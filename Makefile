@@ -1,0 +1,33 @@
+# Convenience targets; everything is plain dune underneath.
+
+.PHONY: all build test bench bench-quick micro examples clean
+
+all: build
+
+build:
+	dune build @all
+
+test:
+	dune runtest
+
+test-archive:
+	dune runtest --force --no-buffer 2>&1 | tee test_output.txt
+
+bench:
+	dune exec bench/main.exe 2>&1 | tee bench_output.txt
+
+bench-quick:
+	dune exec bench/main.exe -- quick
+
+micro:
+	dune exec bench/main.exe -- micro
+
+examples:
+	dune exec examples/quickstart.exe
+	dune exec examples/fuzz_campaign.exe
+	dune exec examples/dataplane_diff.exe
+	dune exec examples/model_from_source.exe
+	dune exec examples/nightly_validation.exe
+
+clean:
+	dune clean

@@ -1,0 +1,290 @@
+(* The SwitchV command-line interface.
+
+   Subcommands:
+     validate   — full nightly validation (fuzzer + oracle, symbolic + diff)
+     fuzz       — control-plane campaign only
+     genpackets — p4-symbolic packet generation only
+     trivial    — the §6.2 trivial integration-test suite
+     model      — print a P4 model or its P4Info ("living documentation")
+     catalogue  — list the seeded-bug catalogue
+
+   Switches under test are the simulated stacks; --fault seeds catalogue
+   bugs by id so every paper experiment is reproducible from the shell. *)
+
+module Ast = Switchv_p4ir.Ast
+module P4info = Switchv_p4ir.P4info
+module Pretty = Switchv_p4ir.Pretty
+module Stack = Switchv_switch.Stack
+module Fault = Switchv_switch.Fault
+module Catalogue = Switchv_switch.Catalogue
+module Workload = Switchv_sai.Workload
+module Harness = Switchv_core.Harness
+module Report = Switchv_core.Report
+module Control_campaign = Switchv_core.Control_campaign
+module Data_campaign = Switchv_core.Data_campaign
+module Trivial_suite = Switchv_core.Trivial_suite
+module Symexec = Switchv_symbolic.Symexec
+module Packetgen = Switchv_symbolic.Packetgen
+module Cache = Switchv_symbolic.Cache
+
+open Cmdliner
+
+(* --- shared arguments ---------------------------------------------------- *)
+
+let program_of_name = function
+  | "middleblock" -> Ok Switchv_sai.Middleblock.program
+  | "tor" -> Ok Switchv_sai.Tor.program
+  | "wan" -> Ok Switchv_sai.Wan.program
+  | "cerberus" -> Ok Switchv_sai.Cerberus.program
+  | "figure2" -> Ok Switchv_sai.Figure2.program
+  | other -> Error (Printf.sprintf "unknown model %S" other)
+
+let model_conv =
+  let parse s = Result.map_error (fun m -> `Msg m) (program_of_name s) in
+  let print fmt (p : Ast.program) = Format.pp_print_string fmt p.p_name in
+  Arg.conv (parse, print)
+
+let builtin_model_arg =
+  let doc =
+    "P4 model / switch role: $(b,middleblock), $(b,tor), $(b,wan), \
+     $(b,cerberus), or $(b,figure2)."
+  in
+  Arg.(
+    value
+    & opt model_conv Switchv_sai.Middleblock.program
+    & info [ "m"; "model" ] ~docv:"MODEL" ~doc)
+
+let model_file_arg =
+  let doc =
+    "Load the P4 model from a source file in the dialect printed by \
+     $(b,switchv model) instead of using a built-in role."
+  in
+  Arg.(value & opt (some file) None & info [ "f"; "model-file" ] ~docv:"FILE" ~doc)
+
+let load_model builtin = function
+  | None -> builtin
+  | Some path ->
+      let ic = open_in path in
+      let source = really_input_string ic (in_channel_length ic) in
+      close_in ic;
+      let program =
+        Switchv_p4ir.P4parser.parse_exn
+          ~name:(Filename.remove_extension (Filename.basename path))
+          source
+      in
+      Switchv_p4ir.Typecheck.check_exn program;
+      program
+
+let model_arg = Term.(const load_model $ builtin_model_arg $ model_file_arg)
+
+let seed_arg =
+  Arg.(value & opt int 1 & info [ "seed" ] ~docv:"SEED" ~doc:"Deterministic RNG seed.")
+
+let scale_arg =
+  let doc = "Workload scale factor relative to the Inst1 profile (798 entries at 1.0)." in
+  Arg.(value & opt float 0.1 & info [ "scale" ] ~docv:"F" ~doc)
+
+let faults_arg =
+  let doc =
+    "Seed the switch with this catalogue fault id (e.g. PINS-042, CERB-003); \
+     repeatable."
+  in
+  Arg.(value & opt_all string [] & info [ "fault" ] ~docv:"ID" ~doc)
+
+let batches_arg =
+  Arg.(
+    value & opt int 10
+    & info [ "batches" ] ~docv:"N" ~doc:"Random fuzz batches after the directed sweep.")
+
+let cache_dir_arg =
+  let doc = "Directory for the p4-symbolic packet cache (omit for no caching)." in
+  Arg.(value & opt (some string) None & info [ "cache-dir" ] ~docv:"DIR" ~doc)
+
+let workload program scale seed =
+  Workload.generate ~seed program (Workload.scaled scale Workload.inst1)
+
+let resolve_faults program entries ids =
+  let catalogue = Catalogue.pins program entries @ Catalogue.cerberus program entries in
+  List.map
+    (fun id ->
+      match List.find_opt (fun (f : Fault.t) -> String.equal f.id id) catalogue with
+      | Some f -> f
+      | None -> failwith (Printf.sprintf "no catalogue fault %S for this model" id))
+    ids
+
+(* --- validate ------------------------------------------------------------- *)
+
+let validate_cmd =
+  let run program seed scale fault_ids batches cache_dir =
+    let entries = workload program scale seed in
+    let faults = resolve_faults program entries fault_ids in
+    let mk () = Stack.create ~faults program in
+    let config =
+      { (Harness.default_config entries) with
+        control = { Control_campaign.default_config with batches; seed };
+        cache = Option.map Cache.on_disk cache_dir }
+    in
+    let report = Harness.validate mk config in
+    Format.printf "%a@." Report.pp report;
+    if Report.clean report then Ok () else Error (false, "incidents reported")
+  in
+  let doc = "Run a full SwitchV validation (control plane + data plane)." in
+  Cmd.v
+    (Cmd.info "validate" ~doc)
+    Term.(
+      term_result' ~usage:false
+        (const (fun p s sc f b c ->
+             match run p s sc f b c with
+             | Ok () -> Ok ()
+             | Error (_, m) -> Error m)
+        $ model_arg $ seed_arg $ scale_arg $ faults_arg $ batches_arg $ cache_dir_arg))
+
+(* --- fuzz ------------------------------------------------------------------- *)
+
+let fuzz_cmd =
+  let run program seed fault_ids batches =
+    let entries = workload program 0.1 seed in
+    let faults = resolve_faults program entries fault_ids in
+    let stack = Stack.create ~faults program in
+    let incidents, stats =
+      Control_campaign.run stack { Control_campaign.default_config with batches; seed }
+    in
+    Printf.printf "%d batches, %d updates (%d valid / %d invalid) in %.2fs\n"
+      stats.cs_batches stats.cs_updates stats.cs_valid_updates stats.cs_invalid_updates
+      stats.cs_duration;
+    List.iter (fun i -> Format.printf "%a@." Report.pp_incident i) incidents;
+    Printf.printf "%d incident(s)\n" (List.length incidents)
+  in
+  let doc = "Run the control-plane fuzzing campaign only (p4-fuzzer + oracle)." in
+  Cmd.v
+    (Cmd.info "fuzz" ~doc)
+    Term.(const run $ model_arg $ seed_arg $ faults_arg $ batches_arg)
+
+(* --- genpackets ---------------------------------------------------------------- *)
+
+let genpackets_cmd =
+  let run program seed scale cache_dir verbose trace_tables =
+    let entries = workload program scale seed in
+    let t0 = Unix.gettimeofday () in
+    let encoding = Symexec.encode program entries in
+    let goals =
+      match trace_tables with
+      | [] -> Packetgen.entry_coverage_goals encoding
+      | tables -> Packetgen.trace_coverage_goals encoding ~tables
+    in
+    let cache = Option.map Cache.on_disk cache_dir in
+    let result = Packetgen.generate ?cache encoding goals in
+    Printf.printf "%d entries, %d goals: %d covered, %d uncoverable in %.2fs%s\n"
+      (List.length entries) (List.length goals) result.covered result.uncoverable
+      (Unix.gettimeofday () -. t0)
+      (if result.from_cache then " (cached)" else "");
+    if verbose then
+      List.iter
+        (fun (tp : Packetgen.test_packet) ->
+          match tp.tp_bytes with
+          | Some bytes ->
+              Printf.printf "%-70s port %d, %d bytes\n" tp.tp_goal tp.tp_port
+                (String.length bytes)
+          | None -> Printf.printf "%-70s UNSAT\n" tp.tp_goal)
+        result.packets
+  in
+  let doc = "Generate test packets with p4-symbolic (entry coverage)." in
+  let verbose =
+    Arg.(value & flag & info [ "v"; "verbose" ] ~doc:"Print one line per goal.")
+  in
+  let trace_tables =
+    Arg.(
+      value
+      & opt (list string) []
+      & info [ "trace" ] ~docv:"TABLES"
+          ~doc:
+            "Comma-separated table names: cover the cross-product of their              trace points instead of per-entry coverage (§5's selective              trace coverage).")
+  in
+  Cmd.v
+    (Cmd.info "genpackets" ~doc)
+    Term.(
+      const run $ model_arg $ seed_arg $ scale_arg $ cache_dir_arg $ verbose
+      $ trace_tables)
+
+(* --- trivial --------------------------------------------------------------------- *)
+
+let trivial_cmd =
+  let run program seed fault_ids =
+    let entries = workload program 0.1 seed in
+    let faults = resolve_faults program entries fault_ids in
+    let results = Trivial_suite.run_all (Stack.create ~faults program) in
+    List.iter
+      (fun (t, ok) ->
+        Printf.printf "%-28s %s\n" (Fault.trivial_test_to_string t)
+          (if ok then "PASS" else "FAIL"))
+      results
+  in
+  let doc = "Run the trivial integration-test suite of the paper's Table 2." in
+  Cmd.v (Cmd.info "trivial" ~doc) Term.(const run $ model_arg $ seed_arg $ faults_arg)
+
+(* --- model ------------------------------------------------------------------------- *)
+
+let model_cmd =
+  let run program p4info =
+    if p4info then Format.printf "%a@." P4info.pp (P4info.of_program program)
+    else print_endline (Pretty.program_to_string program)
+  in
+  let doc = "Print a P4 model as P4-16-style source (the living documentation)." in
+  let p4info_flag =
+    Arg.(value & flag & info [ "p4info" ] ~doc:"Print the control-plane P4Info instead.")
+  in
+  Cmd.v (Cmd.info "model" ~doc) Term.(const run $ model_arg $ p4info_flag)
+
+(* --- metrics ------------------------------------------------------------------------- *)
+
+let metrics_cmd =
+  let run program seed fault_ids =
+    let entries = workload program 0.1 seed in
+    let faults = resolve_faults program entries fault_ids in
+    let metrics =
+      Switchv_core.Metrics.collect (fun () -> Stack.create ~faults program) entries
+    in
+    Format.printf "%a@." Switchv_core.Metrics.pp metrics;
+    let routing =
+      Switchv_core.Metrics.feature metrics ~name:"routing (feature rollup)"
+        ~tables:
+          [ "ipv4_table"; "ipv6_table"; "nexthop_table"; "wcmp_group_table";
+            "router_interface_table"; "neighbor_table" ]
+    in
+    Format.printf "%a@." Switchv_core.Metrics.pp [ routing ]
+  in
+  let doc = "Per-table OKR coverage metrics (§7): fuzz handling and packet behaviour." in
+  Cmd.v (Cmd.info "metrics" ~doc) Term.(const run $ model_arg $ seed_arg $ faults_arg)
+
+(* --- catalogue ----------------------------------------------------------------------- *)
+
+let catalogue_cmd =
+  let run which =
+    let entries p = Workload.generate ~seed:1 p Workload.small in
+    let faults =
+      match which with
+      | "pins" ->
+          Catalogue.pins Switchv_sai.Middleblock.program
+            (entries Switchv_sai.Middleblock.program)
+      | "cerberus" ->
+          Catalogue.cerberus Switchv_sai.Cerberus.program
+            (entries Switchv_sai.Cerberus.program)
+      | other -> failwith (Printf.sprintf "unknown catalogue %S (pins|cerberus)" other)
+    in
+    List.iter (fun f -> Format.printf "%a@." Fault.pp f) faults;
+    Printf.printf "%d faults\n" (List.length faults)
+  in
+  let which =
+    Arg.(value & pos 0 string "pins" & info [] ~docv:"STACK" ~doc:"pins or cerberus")
+  in
+  let doc = "List the seeded-bug catalogue (the paper's Table 1 population)." in
+  Cmd.v (Cmd.info "catalogue" ~doc) Term.(const run $ which)
+
+let () =
+  let doc = "SwitchV: automated SDN switch validation with P4 models" in
+  let info = Cmd.info "switchv" ~version:"1.0.0" ~doc in
+  exit
+    (Cmd.eval
+       (Cmd.group info
+          [ validate_cmd; fuzz_cmd; genpackets_cmd; trivial_cmd; model_cmd;
+            metrics_cmd; catalogue_cmd ]))

@@ -1,0 +1,40 @@
+(* Data-plane differential testing in isolation (§5): p4-symbolic generates
+   packets hitting every installed entry; each packet runs through the
+   switch and the reference interpreter, and behaviours are compared as
+   sets (round-robin hash enumeration handles WCMP non-determinism).
+
+   The seeded bug mirrors the paper's Cerberus endianness find: the switch
+   reverses the destination IP used for GRE encapsulation.
+
+   Run with: dune exec examples/dataplane_diff.exe *)
+
+module Cerberus = Switchv_sai.Cerberus
+module Workload = Switchv_sai.Workload
+module Stack = Switchv_switch.Stack
+module Fault = Switchv_switch.Fault
+module Data_campaign = Switchv_core.Data_campaign
+module Report = Switchv_core.Report
+
+let () =
+  let program = Cerberus.program in
+  let entries = Workload.generate ~seed:3 program Workload.small in
+  Printf.printf "installing %d entries on a Cerberus switch\n%!" (List.length entries);
+
+  let fault =
+    Fault.make ~id:"DEMO-2" ~component:Fault.Vendor_software Fault.Encap_reversed_dst
+      "switch software reverses the encap destination IP (endianness)"
+  in
+  let stack = Stack.create ~faults:[ fault ] program in
+  let config = Data_campaign.default_config entries in
+  let incidents, stats = Data_campaign.run stack config in
+
+  Printf.printf
+    "goals: %d (covered %d, uncoverable %d); packets tested: %d\n"
+    stats.ds_goals stats.ds_covered stats.ds_uncoverable stats.ds_packets_tested;
+  Printf.printf "generation %.2fs, testing %.2fs\n" stats.ds_generation_time
+    stats.ds_testing_time;
+  Printf.printf "%d divergence(s); first few:\n" (List.length incidents);
+  List.iteri
+    (fun i inc -> if i < 3 then Format.printf "  %a@." Report.pp_incident inc)
+    incidents;
+  assert (incidents <> [])

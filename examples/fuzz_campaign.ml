@@ -1,0 +1,53 @@
+(* Control-plane fuzzing in isolation (§4): stream fuzzed Write batches at
+   a switch and let the oracle judge every response and read-back.
+
+   The switch here accepts entries that violate the vrf_table entry
+   restriction (the paper's Figure 2/3 example: reserved VRF 0 must not be
+   programmable) — the oracle flags each acceptance.
+
+   Run with: dune exec examples/fuzz_campaign.exe *)
+
+module Middleblock = Switchv_sai.Middleblock
+module Stack = Switchv_switch.Stack
+module Fault = Switchv_switch.Fault
+module Fuzzer = Switchv_fuzzer.Fuzzer
+module Oracle = Switchv_oracle.Oracle
+module Request = Switchv_p4runtime.Request
+module Status = Switchv_p4runtime.Status
+module State = Switchv_p4runtime.State
+module Rng = Switchv_bitvec.Rng
+
+let () =
+  let program = Middleblock.program in
+  let fault =
+    Fault.make ~id:"DEMO-1" ~component:Fault.P4runtime_server
+      (Fault.Accept_constraint_violation "vrf_table")
+      "switch does not enforce the vrf_id != 0 restriction"
+  in
+  let stack = Stack.create ~faults:[ fault ] program in
+  assert (Status.is_ok (Stack.push_p4info stack));
+
+  let fuzzer = Fuzzer.create (Stack.info stack) (Rng.create 2022) in
+  let oracle = Oracle.create (Stack.info stack) in
+
+  let incidents = ref 0 in
+  let updates_sent = ref 0 in
+  for batch = 1 to 30 do
+    let annotated = Fuzzer.next_batch fuzzer in
+    let updates = List.map (fun (a : Fuzzer.annotated_update) -> a.update) annotated in
+    updates_sent := !updates_sent + List.length updates;
+    let resp = Stack.write stack { Request.updates } in
+    let read_back = Stack.read stack in
+    let found = Oracle.judge_batch oracle updates resp ~read_back in
+    List.iter
+      (fun i ->
+        incr incidents;
+        if !incidents <= 5 then Format.printf "batch %2d: %a@." batch Oracle.pp_incident i)
+      found
+  done;
+  Printf.printf
+    "\nsent %d updates in 30 batches; oracle flagged %d incidents (showing 5)\n"
+    !updates_sent !incidents;
+  Printf.printf "switch state: %d entries installed\n"
+    (State.total (Stack.server_state stack));
+  assert (!incidents > 0)

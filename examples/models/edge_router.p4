@@ -1,0 +1,151 @@
+// A hand-written P4 model in the dialect SwitchV's textual frontend
+// accepts (the same dialect `switchv model` prints): a minimal edge
+// router with VRF allocation, an IPv4 LPM table whose entries must
+// reference allocated VRFs and nexthops, and a punt ACL.
+//
+// Load it with:
+//   dune exec bin/switchv_cli.exe -- validate -f examples/models/edge_router.p4
+//   dune exec bin/switchv_cli.exe -- genpackets -f examples/models/edge_router.p4 -v
+
+header ethernet_t {
+  bit<48> dst_addr;
+  bit<48> src_addr;
+  bit<16> ether_type;
+}
+
+header ipv4_t {
+  bit<4> version;
+  bit<4> ihl;
+  bit<6> dscp;
+  bit<2> ecn;
+  bit<16> total_len;
+  bit<16> identification;
+  bit<3> flags;
+  bit<13> frag_offset;
+  bit<8> ttl;
+  bit<8> protocol;
+  bit<16> header_checksum;
+  bit<32> src_addr;
+  bit<32> dst_addr;
+}
+
+struct metadata_t {
+  bit<16> vrf_id;
+  bit<16> nexthop_id;
+}
+
+parser (start = start) {
+  state start {
+    packet.extract(headers.ethernet);
+    transition select(ethernet.ether_type) {
+      16w0x0800 : parse_ipv4;
+      default : accept;
+    }
+  }
+  state parse_ipv4 {
+    packet.extract(headers.ipv4);
+    transition accept;
+  }
+}
+
+action no_action() {
+}
+
+action drop() {
+  std.drop = 1w0x1;
+}
+
+action punt() {
+  std.punt = 1w0x1;
+  std.drop = 1w0x1;
+}
+
+action set_vrf(@refers_to(vrf_table, vrf_id) bit<16> vrf_id) {
+  meta.vrf_id = vrf_id;
+}
+
+action forward(bit<16> port, bit<48> src_mac, bit<48> dst_mac) {
+  std.egress_port = port;
+  ethernet.src_addr = src_mac;
+  ethernet.dst_addr = dst_mac;
+}
+
+@entry_restriction("vrf_id != 0")
+@id(1)
+table vrf_table {
+  key = {
+    meta.vrf_id : exact @name("vrf_id");
+  }
+  actions = { no_action }
+  const default_action = no_action();
+  size = 16;
+}
+
+@id(2)
+table classifier_table {
+  key = {
+    ipv4.src_addr : ternary @name("src_ip");
+    std.ingress_port : ternary @name("in_port");
+  }
+  actions = { set_vrf; no_action }
+  const default_action = no_action();
+  size = 32;
+}
+
+@id(3)
+table nexthop_table {
+  key = {
+    meta.nexthop_id : exact @name("nexthop_id");
+  }
+  actions = { forward; drop }
+  const default_action = drop();
+  size = 32;
+}
+
+action set_nexthop(@refers_to(nexthop_table, nexthop_id) bit<16> nexthop_id) {
+  meta.nexthop_id = nexthop_id;
+}
+
+@id(4)
+table route_table {
+  key = {
+    meta.vrf_id : exact @refers_to(vrf_table, vrf_id) @name("vrf_id");
+    ipv4.dst_addr : lpm @name("dst");
+  }
+  actions = { set_nexthop; drop }
+  const default_action = drop();
+  size = 256;
+}
+
+@entry_restriction("protocol != 0")
+@id(5)
+table punt_acl {
+  key = {
+    ipv4.protocol : ternary @name("protocol");
+    ipv4.dst_addr : ternary @name("dst_ip");
+  }
+  actions = { punt; no_action }
+  const default_action = no_action();
+  size = 16;
+}
+
+control ingress {
+  if (headers.ipv4.isValid()) {
+    classifier_table.apply();
+    vrf_table.apply();
+    route_table.apply();
+    if (meta.nexthop_id != 16w0x0) {
+      nexthop_table.apply();
+    }
+    if (ipv4.ttl <= 8w0x1) {
+      std.punt = 1w0x1;
+      std.drop = 1w0x1;
+    } else {
+      ipv4.ttl = (ipv4.ttl - 8w0x1);
+    }
+    punt_acl.apply();
+  }
+}
+
+control egress {
+}

@@ -1,0 +1,83 @@
+(** The reference P4 interpreter ("our BMv2").
+
+    Executes a P4 model program concretely: byte-level parsing per the
+    program's parser, match-action pipeline evaluation against installed
+    table entries, action execution, and deparsing. SwitchV runs generated
+    test packets through this interpreter and through the switch under
+    test, and compares behaviours (§5).
+
+    {b Hashing.} Black-box hashes ([E_hash], and the implicit selector hash
+    of one-shot WCMP tables) are pluggable. [Seeded] mode computes a real
+    (FNV-based) hash — what a switch might do. [Fixed n] makes every hash
+    evaluate to [n] — the building block for round-robin behaviour-set
+    enumeration (§5 "Hashing"): run with [Fixed 0], [Fixed 1], ... until
+    the behaviour set stops growing. *)
+
+module Bitvec = Switchv_bitvec.Bitvec
+module Packet = Switchv_packet.Packet
+module Ast = Switchv_p4ir.Ast
+module Entry = Switchv_p4runtime.Entry
+module State = Switchv_p4runtime.State
+
+type hash_mode =
+  | Seeded of int       (** deterministic concrete hash with given seed *)
+  | Fixed of int        (** every hash application evaluates to this value *)
+
+type config = {
+  program : Ast.program;
+  state : State.t;
+  hash_mode : hash_mode;
+  mirror_map : (int * int) list;
+      (** mirror session id -> destination port (the paper's logical
+          mirror-session table, §3 "Mirror Sessions") *)
+}
+
+(** The externally observable outcome of processing one packet. *)
+type behavior = {
+  b_egress : int option;          (** [None] = dropped *)
+  b_punted : bool;                (** a copy went to the controller *)
+  b_mirrors : (int * string) list;(** mirror copies: port, wire bytes *)
+  b_packet : string;              (** wire bytes of the forwarded packet *)
+  b_trace : (string * string) list;
+      (** debug: table name -> action taken (["<default>"] markers kept
+          human-readable; not part of behaviour equality) *)
+}
+
+val behavior_equal : behavior -> behavior -> bool
+(** Equality of observable outcome (egress, punt, mirrors, bytes if
+    forwarded); ignores the trace. *)
+
+val pp_behavior : Format.formatter -> behavior -> unit
+
+exception Parse_failure of string
+(** Raised when the input bytes cannot be parsed by the program's parser
+    (truncated packet, or no transition matches and the default leads
+    nowhere). *)
+
+val run : config -> ingress_port:int -> string -> behavior
+(** Process raw wire bytes arriving on [ingress_port]. *)
+
+val run_packet : config -> ingress_port:int -> Packet.t -> behavior
+(** Convenience: serialises the packet first. *)
+
+val run_packet_out :
+  config -> egress_port:int option -> Packet.t -> behavior
+(** Controller packet-out: [Some port] bypasses the pipeline and emits
+    directly; [None] submits to ingress (sets [std.submit_to_ingress]). *)
+
+val enumerate_behaviors :
+  ?max_rounds:int -> config -> ingress_port:int -> string -> behavior list
+(** Round-robin over hash outcomes until the behaviour set stops growing
+    (or [max_rounds], default 32): the set of possible behaviours of a
+    non-deterministic program on this packet. *)
+
+val ordered_entries : Ast.table -> Entry.t list -> Entry.t list
+(** The table's entries in match-precedence order (priority descending for
+    ternary/optional tables, LPM specificity descending otherwise, with
+    insertion order breaking ties): the first entry in this list whose
+    matches hold wins. Shared with p4-symbolic so that the reference
+    interpreter and the symbolic encoding agree on tie-breaking. *)
+
+val hash_rounds : config -> int
+(** The number of distinct [Fixed] hash rounds needed to reach every WCMP
+    member of every installed group (the maximum total weight). *)

@@ -1,0 +1,85 @@
+module Stack = Switchv_switch.Stack
+module Fuzzer = Switchv_fuzzer.Fuzzer
+module Oracle = Switchv_oracle.Oracle
+module Request = Switchv_p4runtime.Request
+module Status = Switchv_p4runtime.Status
+module Rng = Switchv_bitvec.Rng
+
+type config = {
+  batches : int;
+  fuzzer_config : Fuzzer.config;
+  seed : int;
+  max_incidents : int;
+}
+
+let default_config =
+  { batches = 20; fuzzer_config = Fuzzer.default_config; seed = 7; max_incidents = 25 }
+
+let run ?(push_p4info = true) stack config =
+  let start = Unix.gettimeofday () in
+  let incidents = ref [] in
+  let n_updates = ref 0 in
+  let n_valid = ref 0 in
+  let n_invalid = ref 0 in
+  let n_batches = ref 0 in
+  let add detector kind detail =
+    incidents := Report.incident detector ~kind ~detail :: !incidents
+  in
+  (if push_p4info then begin
+     let s = Stack.push_p4info stack in
+     if not (Status.is_ok s) then
+       add Report.Fuzzer "p4info rejected"
+         (Format.asprintf "Set P4Info failed: %a" Status.pp s)
+   end);
+  if !incidents = [] then begin
+    let fuzzer = Fuzzer.create ~config:config.fuzzer_config (Stack.info stack) (Rng.create config.seed) in
+    let oracle = Oracle.create (Stack.info stack) in
+    let process annotated =
+      incr n_batches;
+      let updates = List.map (fun (a : Fuzzer.annotated_update) -> a.update) annotated in
+         n_updates := !n_updates + List.length updates;
+         List.iter
+           (fun (a : Fuzzer.annotated_update) ->
+             match a.mutation with
+             | Some _ -> incr n_invalid
+             | None -> incr n_valid)
+           annotated;
+         let resp = Stack.write stack { Request.updates } in
+         let read_back = Stack.read stack in
+         let batch_incidents = Oracle.judge_batch oracle updates resp ~read_back in
+         List.iter
+           (fun (i : Oracle.incident) ->
+             let kind =
+               match i.inc_kind with
+               | `Status_violation -> "status violation"
+               | `State_divergence -> "state divergence"
+               | `Unresponsive -> "unresponsive"
+               | `P4info_rejected -> "p4info rejected"
+             in
+             add Report.Fuzzer kind i.inc_detail)
+           batch_incidents;
+      (* A wedged switch cannot produce more signal; stop the campaign. *)
+      if Stack.crashed stack then raise Exit
+    in
+    (try
+       (* Directed sweep first (every table, every mutation), then the
+          random phase. *)
+       List.iter
+         (fun batch ->
+           if List.length !incidents >= config.max_incidents then raise Exit;
+           process batch)
+         (Fuzzer.sweep fuzzer);
+       for _ = 1 to config.batches do
+         if List.length !incidents >= config.max_incidents then raise Exit;
+         process (Fuzzer.next_batch fuzzer)
+       done
+     with Exit -> ())
+  end;
+  let stats =
+    { Report.cs_batches = !n_batches;
+      cs_updates = !n_updates;
+      cs_valid_updates = !n_valid;
+      cs_invalid_updates = !n_invalid;
+      cs_duration = Unix.gettimeofday () -. start }
+  in
+  (List.rev !incidents, stats)

@@ -1,0 +1,25 @@
+(** The control-plane validation campaign: p4-fuzzer driving the switch
+    under the oracle's judgment (§4). Pushes the P4Info, then streams
+    fuzzed Write batches, reading the switch state back after each batch
+    and judging statuses + state against the P4Runtime specification. *)
+
+module Stack = Switchv_switch.Stack
+
+type config = {
+  batches : int;
+  fuzzer_config : Switchv_fuzzer.Fuzzer.config;
+  seed : int;
+  max_incidents : int;
+      (** Stop early once this many incidents have been collected (a real
+          nightly run pages a human long before). *)
+}
+
+val default_config : config
+
+val run :
+  ?push_p4info:bool ->
+  Stack.t ->
+  config ->
+  Report.incident list * Report.control_stats
+(** [push_p4info] defaults to true; pass false when the caller already
+    configured the switch. *)

@@ -1,0 +1,257 @@
+module Stack = Switchv_switch.Stack
+module Entry = Switchv_p4runtime.Entry
+module Request = Switchv_p4runtime.Request
+module Status = Switchv_p4runtime.Status
+module State = Switchv_p4runtime.State
+module Interp = Switchv_bmv2.Interp
+module Symexec = Switchv_symbolic.Symexec
+module Packetgen = Switchv_symbolic.Packetgen
+module Cache = Switchv_symbolic.Cache
+module Workload = Switchv_sai.Workload
+module Packet = Switchv_packet.Packet
+module Term = Switchv_smt.Term
+
+type config = {
+  entries : Entry.t list;
+  ports : int list;
+  extra_goals : Symexec.encoding -> Packetgen.goal list;
+  include_branch_goals : bool;
+  cache : Cache.t option;
+  max_incidents : int;
+  test_packet_io : bool;
+}
+
+let default_config entries =
+  { entries; ports = [ 1; 2; 3; 4 ]; extra_goals = (fun _ -> []);
+    include_branch_goals = true;
+    cache = None; max_incidents = 25; test_packet_io = true }
+
+let exploratory_goals (enc : Symexec.encoding) =
+  let ether_type = Term.var (Symexec.field_var ~header:"ethernet" ~field:"ether_type") 16 in
+  let ether_goal et name =
+    Packetgen.custom_goal
+      ~id:(Printf.sprintf "explore:ether:%s" name)
+      ~desc:(Printf.sprintf "a packet with ether_type %s reaches the switch" name)
+      (Term.eq ether_type (Term.of_int ~width:16 et))
+  in
+  let has_ipv4 =
+    List.exists
+      (fun (h : Switchv_packet.Header.t) -> String.equal h.name "ipv4")
+      enc.enc_program.p_headers
+  in
+  let ipv4_goals =
+    if not has_ipv4 then []
+    else begin
+      let valid = Term.bvar (Symexec.validity_var ~header:"ipv4") in
+      let ttl = Term.var (Symexec.field_var ~header:"ipv4" ~field:"ttl") 8 in
+      let dscp = Term.var (Symexec.field_var ~header:"ipv4" ~field:"dscp") 6 in
+      [ Packetgen.custom_goal ~id:"explore:ttl:0" ~desc:"IPv4 packet with TTL 0"
+          (Term.and_ valid (Term.eq ttl (Term.of_int ~width:8 0)));
+        Packetgen.custom_goal ~id:"explore:ttl:1" ~desc:"IPv4 packet with TTL 1"
+          (Term.and_ valid (Term.eq ttl (Term.of_int ~width:8 1)));
+        Packetgen.custom_goal ~id:"explore:ttl:2" ~desc:"IPv4 packet with TTL 2"
+          (Term.and_ valid (Term.eq ttl (Term.of_int ~width:8 2)));
+        Packetgen.custom_goal ~id:"explore:ttl:expired-unpunted"
+          ~desc:"an expired-TTL packet the model does not punt"
+          (Term.and_ valid
+             (Term.and_
+                (Term.ule ttl (Term.of_int ~width:8 1))
+                (Term.not_ enc.enc_punted)));
+        Packetgen.custom_goal ~id:"explore:dscp:nonzero-forwarded"
+          ~desc:"a forwarded IPv4 packet with nonzero DSCP"
+          (Term.and_ valid
+             (Term.and_
+                (Term.neq dscp (Term.of_int ~width:6 0))
+                (Term.not_ enc.enc_dropped)));
+        Packetgen.custom_goal ~id:"explore:forwarded" ~desc:"any forwarded packet"
+          (Term.not_ enc.enc_dropped);
+        Packetgen.custom_goal ~id:"explore:punted" ~desc:"any punted packet"
+          enc.enc_punted ]
+    end
+  in
+  [ ether_goal 0x88CC "lldp"; ether_goal 0x8809 "lacp"; ether_goal 0x0806 "arp";
+    ether_goal 0x8100 "vlan"; ether_goal 0x86DD "ipv6"; ether_goal 0x0800 "ipv4" ]
+  @ ipv4_goals
+
+(* Install the (dependency-ordered) entries, batched by table so no batch
+   contains internal @refers_to dependencies (§4.4 / "Batching Table
+   Entries"). *)
+let install stack entries add_incident =
+  let batches =
+    List.fold_left
+      (fun acc (e : Entry.t) ->
+        match acc with
+        | (table, batch) :: rest when String.equal table e.e_table ->
+            (table, e :: batch) :: rest
+        | _ -> (e.e_table, [ e ]) :: acc)
+      [] entries
+    |> List.rev_map (fun (_, batch) -> List.rev batch)
+  in
+  let installed = ref 0 in
+  List.iter
+    (fun batch ->
+      let updates = List.map Request.insert batch in
+      let resp = Stack.write stack { Request.updates } in
+      List.iter2
+        (fun (u : Request.update) (s : Status.t) ->
+          if Status.is_ok s then incr installed
+          else
+            add_incident "entry rejected during test setup"
+              (Format.asprintf "%a: %a" Status.pp s Entry.pp u.entry))
+        updates resp.statuses)
+    batches;
+  !installed
+
+let behavior_set_packet_out model_cfg po =
+  (* Enumerate hash outcomes for submit-to-ingress processing. *)
+  let rounds = min 32 (Interp.hash_rounds model_cfg) in
+  let rec go round acc =
+    if round >= rounds then List.rev acc
+    else begin
+      let b =
+        Interp.run_packet_out { model_cfg with Interp.hash_mode = Interp.Fixed round }
+          ~egress_port:po.Request.po_egress_port po.Request.po_payload
+      in
+      if List.exists (Interp.behavior_equal b) acc then go (round + 1) acc
+      else go (round + 1) (b :: acc)
+    end
+  in
+  go 0 []
+
+let pp_behavior_set fmt bs =
+  Format.fprintf fmt "{%a}"
+    (Format.pp_print_list
+       ~pp_sep:(fun fmt () -> Format.pp_print_string fmt "; ")
+       Interp.pp_behavior)
+    bs
+
+let run ?(push_p4info = true) stack config =
+  let incidents = ref [] in
+  let add kind detail =
+    if List.length !incidents < config.max_incidents then
+      incidents := Report.incident Report.Symbolic ~kind ~detail :: !incidents
+  in
+  (if push_p4info then begin
+     let s = Stack.push_p4info stack in
+     if not (Status.is_ok s) then
+       add "p4info rejected" (Format.asprintf "Set P4Info failed: %a" Status.pp s)
+   end);
+  let installed = install stack config.entries add in
+  (* The reference model runs over the intended entry set regardless of
+     what the switch accepted: a rejected entry is already an incident, and
+     the paper's simulator is configured with the full replay. *)
+  let model_state = State.create () in
+  List.iter (fun e -> ignore (State.insert model_state e)) config.entries;
+  let model_cfg =
+    { Interp.program = Stack.program stack;
+      state = model_state;
+      hash_mode = Interp.Fixed 0;
+      mirror_map = Workload.mirror_map config.entries }
+  in
+  (* Generation stage (timed separately, as in Table 3). *)
+  let gen_start = Unix.gettimeofday () in
+  let encoding = Symexec.encode (Stack.program stack) config.entries in
+  (* Prefer forwarded packets: a goal packet that both sides drop (e.g.
+     TTL 0) exercises the entry but observes nothing. The preference is
+     soft; uncoverable-when-forwarding goals fall back automatically. *)
+  let prefer = Term.not_ encoding.enc_dropped in
+  let goals =
+    Packetgen.entry_coverage_goals ~prefer encoding
+    @ (if config.include_branch_goals then Packetgen.branch_coverage_goals ~prefer encoding
+       else [])
+    @ config.extra_goals encoding
+  in
+  let generated = Packetgen.generate ~ports:config.ports ?cache:config.cache encoding goals in
+  let gen_time = Unix.gettimeofday () -. gen_start in
+  (* Testing stage. *)
+  let test_start = Unix.gettimeofday () in
+  let tested = ref 0 in
+  List.iter
+    (fun (tp : Packetgen.test_packet) ->
+      match tp.tp_bytes with
+      | None -> ()
+      | Some bytes when List.length !incidents < config.max_incidents -> (
+          incr tested;
+          let switch_b = Stack.inject stack ~ingress_port:tp.tp_port bytes in
+          match Interp.enumerate_behaviors model_cfg ~ingress_port:tp.tp_port bytes with
+          | exception Interp.Parse_failure msg ->
+              add "model parse failure"
+                (Printf.sprintf "goal %s generated an unparseable packet: %s" tp.tp_goal msg)
+          | model_bs ->
+              if not (List.exists (Interp.behavior_equal switch_b) model_bs) then
+                add "behavior divergence"
+                  (Format.asprintf
+                     "goal %s (port %d): switch behaved %a, model admits %a" tp.tp_goal
+                     tp.tp_port Interp.pp_behavior switch_b pp_behavior_set model_bs))
+      | Some _ -> ())
+    generated.packets;
+  (* Packet I/O contract. The submit-to-ingress payload is crafted to be
+     routable under the installed entries (admitted MAC + covered dst), so
+     that broken submit-to-ingress processing is observable. *)
+  if config.test_packet_io && List.length !incidents < config.max_incidents then begin
+    let payload =
+      let admit_mac =
+        List.find_map
+          (fun (e : Entry.t) ->
+            if String.equal e.e_table "l3_admit_table" then
+              match Entry.find_match e "dst_mac" with
+              | Some (Entry.M_ternary t) ->
+                  Some (Switchv_bitvec.Ternary.value t)
+              | _ -> None
+            else None)
+          config.entries
+      in
+      let route_dst =
+        List.find_map
+          (fun (e : Entry.t) ->
+            let forwards =
+              match e.e_action with
+              | Entry.Single { ai_name = "set_nexthop_id" | "set_wcmp_group_id"; _ } ->
+                  true
+              | _ -> false
+            in
+            if String.equal e.e_table "ipv4_table" && forwards then
+              match Entry.find_match e "ipv4_dst" with
+              | Some (Entry.M_lpm p) -> Some (Switchv_bitvec.Prefix.value p)
+              | _ -> None
+            else None)
+          config.entries
+      in
+      let base = Packet.simple_ipv4 ~src:"192.0.2.1" ~dst:"198.51.100.1" () in
+      let base =
+        match admit_mac with
+        | Some mac -> Packet.set base ~header:"ethernet" ~field:"dst_addr" mac
+        | None -> base
+      in
+      match route_dst with
+      | Some dst -> Packet.set base ~header:"ipv4" ~field:"dst_addr" dst
+      | None -> base
+    in
+    List.iter
+      (fun port ->
+        let po = { Request.po_payload = payload; po_egress_port = Some port } in
+        let b = Stack.packet_out stack po in
+        if b.Interp.b_egress <> Some port || b.Interp.b_punted then
+          add "packet-out divergence"
+            (Format.asprintf "packet-out to port %d behaved %a" port Interp.pp_behavior b))
+      config.ports;
+    let po = { Request.po_payload = payload; po_egress_port = None } in
+    let switch_b = Stack.packet_out stack po in
+    let model_bs = behavior_set_packet_out model_cfg po in
+    if not (List.exists (Interp.behavior_equal switch_b) model_bs) then
+      add "submit-to-ingress divergence"
+        (Format.asprintf "switch behaved %a, model admits %a" Interp.pp_behavior switch_b
+           pp_behavior_set model_bs)
+  end;
+  let test_time = Unix.gettimeofday () -. test_start in
+  let stats =
+    { Report.ds_entries_installed = installed;
+      ds_goals = List.length goals;
+      ds_covered = generated.covered;
+      ds_uncoverable = generated.uncoverable;
+      ds_packets_tested = !tested;
+      ds_generation_time = gen_time;
+      ds_testing_time = test_time;
+      ds_from_cache = generated.from_cache }
+  in
+  (List.rev !incidents, stats)

@@ -1,0 +1,39 @@
+(** The data-plane validation campaign (§5): install a replayed entry set
+    on the switch, generate test packets with p4-symbolic, run each packet
+    through the switch and through the reference P4 interpreter, and check
+    that the switch's behaviour lies in the set of behaviours the model
+    admits (round-robin hash enumeration handles WCMP non-determinism).
+
+    Also exercises the controller packet-I/O contract: packet-out to every
+    port, and submit-to-ingress processing. *)
+
+module Stack = Switchv_switch.Stack
+module Entry = Switchv_p4runtime.Entry
+module Packetgen = Switchv_symbolic.Packetgen
+module Cache = Switchv_symbolic.Cache
+
+type config = {
+  entries : Entry.t list;
+      (** the replayed forwarding state, in dependency order *)
+  ports : int list;                  (** ingress ports packets may use *)
+  extra_goals : Switchv_symbolic.Symexec.encoding -> Packetgen.goal list;
+      (** tester-provided coverage assertions, built once the encoding exists *)
+  include_branch_goals : bool;
+  cache : Cache.t option;
+  max_incidents : int;
+  test_packet_io : bool;
+}
+
+val default_config : Entry.t list -> config
+
+val run :
+  ?push_p4info:bool ->
+  Stack.t ->
+  config ->
+  Report.incident list * Report.data_stats
+
+val exploratory_goals : Switchv_symbolic.Symexec.encoding -> Packetgen.goal list
+(** Canned tester assertions beyond entry coverage: unusual ether types
+    (LLDP, LACP, ARP, VLAN), TTL boundary values, punt/drop outcomes —
+    the kind of hand-written coverage constraints §5 describes testers
+    adding on top of the built-in metrics. *)

@@ -1,0 +1,115 @@
+module Stack = Switchv_switch.Stack
+module Fault = Switchv_switch.Fault
+module Entry = Switchv_p4runtime.Entry
+module Cache = Switchv_symbolic.Cache
+
+type config = {
+  control : Control_campaign.config;
+  data_entries : Entry.t list;
+  cache : Cache.t option;
+  exploratory : bool;
+  fuzzed_data_pass : bool;
+  max_incidents : int;
+}
+
+(* Entries readable from a switch come back in insertion order of the
+   switch's own store; re-order so references precede referents. *)
+let sort_by_dependencies info entries =
+  let placed = Hashtbl.create 64 in
+  let out = ref [] in
+  let state = Switchv_p4runtime.State.create () in
+  let refs_ok e =
+    Switchv_p4runtime.Validate.check_references info e
+      ~exists:(fun ~table ~key value ->
+        Switchv_p4runtime.State.exists_value state ~table ~key value)
+    = Ok ()
+  in
+  let rec pass remaining fuel =
+    if remaining = [] || fuel = 0 then remaining
+    else begin
+      let still =
+        List.filter
+          (fun e ->
+            let key = Entry.match_key e in
+            if (not (Hashtbl.mem placed key)) && refs_ok e then begin
+              Hashtbl.add placed key ();
+              ignore (Switchv_p4runtime.State.insert state e);
+              out := e :: !out;
+              false
+            end
+            else true)
+          remaining
+      in
+      pass still (fuel - 1)
+    end
+  in
+  ignore (pass entries 16);
+  List.rev !out
+
+let default_config entries =
+  { control = Control_campaign.default_config;
+    data_entries = entries;
+    cache = None;
+    exploratory = true;
+    fuzzed_data_pass = false;
+    max_incidents = 25 }
+
+let validate mk_stack config =
+  let control_stack = mk_stack () in
+  let control_incidents, control_stats =
+    Control_campaign.run control_stack
+      { config.control with max_incidents = config.max_incidents }
+  in
+  (* §7 extension: harvest the entries the fuzzing campaign left on the
+     switch (filtered to ones valid for the model — a buggy switch may
+     claim to hold invalid state) and use them as a second data-plane
+     workload. *)
+  let fuzzed_entries =
+    if not config.fuzzed_data_pass then []
+    else begin
+      let info = Stack.info control_stack in
+      let claimed = (Stack.read control_stack).entries in
+      let state = Switchv_p4runtime.State.create () in
+      List.filter
+        (fun e ->
+          Switchv_p4runtime.Validate.check_entry info e = Ok ()
+          && Switchv_p4runtime.Validate.check_references info e
+               ~exists:(fun ~table ~key value ->
+                 Switchv_p4runtime.State.exists_value state ~table ~key value)
+             = Ok ()
+          && Switchv_p4runtime.State.insert state e = Ok ())
+        (sort_by_dependencies info claimed)
+    end
+  in
+  let data_stack = mk_stack () in
+  let data_config =
+    { (Data_campaign.default_config config.data_entries) with
+      cache = config.cache;
+      max_incidents = config.max_incidents;
+      extra_goals =
+        (if config.exploratory then Data_campaign.exploratory_goals else fun _ -> []) }
+  in
+  let data_incidents, data_stats = Data_campaign.run data_stack data_config in
+  let fuzzed_incidents =
+    if fuzzed_entries = [] then []
+    else begin
+      let stack = mk_stack () in
+      let cfg =
+        { (Data_campaign.default_config fuzzed_entries) with
+          max_incidents = config.max_incidents;
+          test_packet_io = false }
+      in
+      let incidents, _ = Data_campaign.run stack cfg in
+      List.map
+        (fun (i : Report.incident) ->
+          { i with Report.kind = "fuzzed-entry pass: " ^ i.kind })
+        incidents
+    end
+  in
+  { Report.program_name = (Stack.program data_stack).p_name;
+    control_incidents;
+    data_incidents = data_incidents @ fuzzed_incidents;
+    control_stats = Some control_stats;
+    data_stats = Some data_stats }
+
+let detect mk_stack config = Report.detected_by (validate mk_stack config)

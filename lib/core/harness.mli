@@ -1,0 +1,33 @@
+(** The SwitchV harness: the end-to-end nightly validation run (§2).
+
+    A full run performs control-plane validation (p4-fuzzer + oracle)
+    followed by data-plane validation (p4-symbolic + reference interpreter
+    differential testing), each against a freshly provisioned switch — as
+    a nightly job would re-provision the device under test. *)
+
+module Stack = Switchv_switch.Stack
+module Fault = Switchv_switch.Fault
+module Entry = Switchv_p4runtime.Entry
+module Cache = Switchv_symbolic.Cache
+
+type config = {
+  control : Control_campaign.config;
+  data_entries : Entry.t list;
+  cache : Cache.t option;
+  exploratory : bool;   (** include the canned exploratory coverage goals *)
+  fuzzed_data_pass : bool;
+      (** §7's proposed extension: after the control-plane campaign, replay
+          the (valid) entries the fuzzer left installed into a fresh switch
+          and run a second data-plane pass over them — fuzzed entries
+          exercise control paths the production replay does not. *)
+  max_incidents : int;
+}
+
+val default_config : Entry.t list -> config
+
+val validate : (unit -> Stack.t) -> config -> Report.t
+(** [validate mk_stack config]: runs both campaigns; [mk_stack] must build
+    a fresh switch (same faults, clean state) for each campaign. *)
+
+val detect : (unit -> Stack.t) -> config -> Report.detector option
+(** Convenience: which SwitchV component (if any) finds an incident. *)

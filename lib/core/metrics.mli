@@ -1,0 +1,42 @@
+(** OKR-style progress metrics (§7 "Development Processes Using SwitchV").
+
+    The paper tracks feature milestones with two measurements derived from
+    SwitchV runs: the percentage of fuzzed table entries related to a
+    feature that the switch handles correctly, and the percentage of table
+    entries related to the feature whose test packets behave correctly.
+    Here a "feature" is a table (the natural granularity of our models);
+    [feature] aggregates several tables into one line. *)
+
+module Stack = Switchv_switch.Stack
+module Entry = Switchv_p4runtime.Entry
+
+type table_metric = {
+  tm_table : string;
+  tm_fuzzed : int;        (** fuzzed updates that targeted this table *)
+  tm_fuzz_ok : int;       (** of those, handled admissibly by the switch *)
+  tm_entries : int;       (** entries installed for data-plane testing *)
+  tm_covered : int;       (** entries hit by a generated test packet *)
+  tm_behaved : int;       (** of those, with behaviour inside the model's set *)
+}
+
+type t = table_metric list
+
+val collect :
+  ?batches:int ->
+  ?seed:int ->
+  (unit -> Stack.t) ->
+  Entry.t list ->
+  t
+(** Run an instrumented control-plane campaign and an instrumented
+    data-plane campaign against fresh switches and tally per-table
+    results. *)
+
+val feature : t -> name:string -> tables:string list -> table_metric
+(** Aggregate several tables into one named feature row. *)
+
+val fuzz_score : table_metric -> float option
+(** tm_fuzz_ok / tm_fuzzed, or [None] when nothing targeted the table. *)
+
+val behave_score : table_metric -> float option
+
+val pp : Format.formatter -> t -> unit

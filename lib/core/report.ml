@@ -1,0 +1,79 @@
+type detector = Fuzzer | Symbolic
+
+let detector_to_string = function Fuzzer -> "p4-fuzzer" | Symbolic -> "p4-symbolic"
+
+type incident = {
+  detector : detector;
+  kind : string;
+  detail : string;
+}
+
+let incident detector ~kind ~detail = { detector; kind; detail }
+
+let pp_incident fmt i =
+  Format.fprintf fmt "%s [%s] %s" (detector_to_string i.detector) i.kind i.detail
+
+type control_stats = {
+  cs_batches : int;
+  cs_updates : int;
+  cs_valid_updates : int;
+  cs_invalid_updates : int;
+  cs_duration : float;
+}
+
+type data_stats = {
+  ds_entries_installed : int;
+  ds_goals : int;
+  ds_covered : int;
+  ds_uncoverable : int;
+  ds_packets_tested : int;
+  ds_generation_time : float;
+  ds_testing_time : float;
+  ds_from_cache : bool;
+}
+
+type t = {
+  program_name : string;
+  control_incidents : incident list;
+  data_incidents : incident list;
+  control_stats : control_stats option;
+  data_stats : data_stats option;
+}
+
+let empty program_name =
+  { program_name; control_incidents = []; data_incidents = [];
+    control_stats = None; data_stats = None }
+
+let incidents t = t.control_incidents @ t.data_incidents
+
+let clean t = incidents t = []
+
+let detected_by t =
+  if t.control_incidents <> [] then Some Fuzzer
+  else if t.data_incidents <> [] then Some Symbolic
+  else None
+
+let pp fmt t =
+  Format.fprintf fmt "@[<v>SwitchV report for %s@," t.program_name;
+  (match t.control_stats with
+  | Some s ->
+      Format.fprintf fmt
+        "control plane: %d batches, %d updates (%d valid / %d invalid) in %.2fs@,"
+        s.cs_batches s.cs_updates s.cs_valid_updates s.cs_invalid_updates s.cs_duration
+  | None -> ());
+  (match t.data_stats with
+  | Some s ->
+      Format.fprintf fmt
+        "data plane: %d entries, %d/%d goals covered (%d uncoverable), %d packets, gen %.2fs%s, test %.2fs@,"
+        s.ds_entries_installed s.ds_covered s.ds_goals s.ds_uncoverable
+        s.ds_packets_tested s.ds_generation_time
+        (if s.ds_from_cache then " (cached)" else "")
+        s.ds_testing_time
+  | None -> ());
+  let all = incidents t in
+  if all = [] then Format.fprintf fmt "no incidents@,"
+  else begin
+    Format.fprintf fmt "%d incident(s):@," (List.length all);
+    List.iter (fun i -> Format.fprintf fmt "  %a@," pp_incident i) all
+  end;
+  Format.fprintf fmt "@]"

@@ -1,0 +1,59 @@
+(** Incident reports: what SwitchV hands to the human tester (§2).
+
+    SwitchV does not diagnose root causes; it reports that the switch's
+    observed behaviour is outside the set admitted by the P4 model, with
+    enough context for a human to investigate. *)
+
+type detector = Fuzzer | Symbolic
+
+val detector_to_string : detector -> string
+
+type incident = {
+  detector : detector;
+  kind : string;       (** short category, e.g. "status violation" *)
+  detail : string;
+}
+
+val incident : detector -> kind:string -> detail:string -> incident
+val pp_incident : Format.formatter -> incident -> unit
+
+type control_stats = {
+  cs_batches : int;
+  cs_updates : int;
+  cs_valid_updates : int;
+  cs_invalid_updates : int;
+  cs_duration : float;
+}
+
+type data_stats = {
+  ds_entries_installed : int;
+  ds_goals : int;
+  ds_covered : int;
+  ds_uncoverable : int;
+  ds_packets_tested : int;
+  ds_generation_time : float;   (** encode + SMT, the paper's "Generation" *)
+  ds_testing_time : float;      (** run + compare, the paper's "Testing" *)
+  ds_from_cache : bool;
+}
+
+type t = {
+  program_name : string;
+  control_incidents : incident list;
+  data_incidents : incident list;
+  control_stats : control_stats option;
+  data_stats : data_stats option;
+}
+
+val empty : string -> t
+
+val incidents : t -> incident list
+val clean : t -> bool
+(** No incidents at all. *)
+
+val detected_by : t -> detector option
+(** The detector that found the first incident: control-plane incidents
+    attribute to [Fuzzer], data-plane ones to [Symbolic]; when both fired,
+    the fuzzer (which runs first) wins — mirroring "discovered by" in the
+    paper's Table 1. *)
+
+val pp : Format.formatter -> t -> unit

@@ -1,0 +1,195 @@
+module Stack = Switchv_switch.Stack
+module Fault = Switchv_switch.Fault
+module P4info = Switchv_p4ir.P4info
+module Bitvec = Switchv_bitvec.Bitvec
+module Prefix = Switchv_bitvec.Prefix
+module Ternary = Switchv_bitvec.Ternary
+module Entry = Switchv_p4runtime.Entry
+module Request = Switchv_p4runtime.Request
+module Status = Switchv_p4runtime.Status
+module State = Switchv_p4runtime.State
+module Interp = Switchv_bmv2.Interp
+module Packet = Switchv_packet.Packet
+
+let bv16 = Bitvec.of_int ~width:16
+let fm field value = { Entry.fm_field = field; fm_value = value }
+let exact16 n = Entry.M_exact (bv16 n)
+let single name args = Entry.Single { ai_name = name; ai_args = args }
+
+let admit_mac = Packet.mac_of_string "02:00:00:00:aa:01"
+let rif_port = 3
+let punt_dst = Packet.ipv4_of_string "10.99.0.1"
+
+(* One coherent rule per table present in the program (§6.2 test 2). The
+   order respects @refers_to dependencies. *)
+let entries info =
+  let has name = P4info.find_table info name <> None in
+  let has_key table key =
+    match P4info.find_table info table with
+    | Some ti -> P4info.find_match_field ti key <> None
+    | None -> false
+  in
+  let e = ref [] in
+  let add x = e := x :: !e in
+  if has "vrf_table" then
+    add (Entry.make ~table:"vrf_table" ~matches:[ fm "vrf_id" (exact16 1) ]
+           (single "no_action" []));
+  if has "router_interface_table" then
+    add (Entry.make ~table:"router_interface_table"
+           ~matches:[ fm "router_interface_id" (exact16 1) ]
+           (single "set_port_and_src_mac"
+              [ bv16 rif_port; Packet.mac_of_string "02:00:00:00:bb:01" ]));
+  if has "neighbor_table" then
+    add (Entry.make ~table:"neighbor_table"
+           ~matches:[ fm "router_interface_id" (exact16 1); fm "neighbor_id" (exact16 1) ]
+           (single "set_dst_mac" [ Packet.mac_of_string "02:00:00:00:cc:01" ]));
+  if has "nexthop_table" then
+    add (Entry.make ~table:"nexthop_table" ~matches:[ fm "nexthop_id" (exact16 1) ]
+           (single "set_ip_nexthop" [ bv16 1; bv16 1 ]));
+  if has "wcmp_group_table" then
+    add (Entry.make ~table:"wcmp_group_table" ~matches:[ fm "wcmp_group_id" (exact16 1) ]
+           (Entry.Weighted
+              [ ({ ai_name = "set_nexthop_id"; ai_args = [ bv16 1 ] }, 1);
+                ({ ai_name = "set_nexthop_id"; ai_args = [ bv16 1 ] }, 2) ]));
+  if has "mirror_session_table" then
+    add (Entry.make ~table:"mirror_session_table"
+           ~matches:[ fm "mirror_session_id" (exact16 1) ]
+           (single "set_port_and_src_mac"
+              [ bv16 4; Packet.mac_of_string "02:00:00:00:dd:01" ]));
+  if has "tunnel_table" then
+    add (Entry.make ~table:"tunnel_table" ~matches:[ fm "tunnel_id" (exact16 1) ]
+           (single "set_gre_encap" [ Packet.ipv4_of_string "172.16.5.5" ]));
+  if has "ipv4_table" then
+    add (Entry.make ~table:"ipv4_table"
+           ~matches:
+             [ fm "vrf_id" (exact16 1);
+               fm "ipv4_dst" (Entry.M_lpm (Prefix.of_ipv4_string "10.50.1.0/24")) ]
+           (single "set_nexthop_id" [ bv16 1 ]));
+  if has "ipv6_table" then
+    add (Entry.make ~table:"ipv6_table"
+           ~matches:
+             [ fm "vrf_id" (exact16 1);
+               fm "ipv6_dst"
+                 (Entry.M_lpm (Prefix.make (Packet.ipv6_of_string "2001:db8::") 48)) ]
+           (single "set_nexthop_id" [ bv16 1 ]));
+  if has "acl_pre_ingress_table" then
+    add (Entry.make ~table:"acl_pre_ingress_table" ~priority:1
+           ~matches:[ fm "is_ipv4" (Entry.M_ternary (Ternary.exact (Bitvec.of_int ~width:1 1))) ]
+           (single "set_vrf" [ bv16 1 ]));
+  if has "l3_admit_table" then
+    add (Entry.make ~table:"l3_admit_table" ~priority:1
+           ~matches:[ fm "dst_mac" (Entry.M_ternary (Ternary.exact admit_mac)) ]
+           (single "l3_admit" []));
+  if has "acl_ingress_table" then begin
+    let matches =
+      fm "is_ipv4" (Entry.M_ternary (Ternary.exact (Bitvec.of_int ~width:1 1)))
+      ::
+      (if has_key "acl_ingress_table" "dst_ip" then
+         [ fm "dst_ip" (Entry.M_ternary (Ternary.exact punt_dst)) ]
+       else if has_key "acl_ingress_table" "l4_dst_port" then
+         [ fm "l4_dst_port" (Entry.M_ternary (Ternary.exact (bv16 9999))) ]
+       else [])
+    in
+    add (Entry.make ~table:"acl_ingress_table" ~priority:10 ~matches
+           (single "acl_trap" []))
+  end;
+  if has "acl_egress_table" then
+    add (Entry.make ~table:"acl_egress_table" ~priority:1
+           ~matches:[ fm "ether_type" (Entry.M_ternary (Ternary.exact (bv16 0x0801))) ]
+           (single "drop" []));
+  if has "egress_router_interface_table" then
+    add (Entry.make ~table:"egress_router_interface_table"
+           ~matches:[ fm "router_interface_id" (exact16 1) ]
+           (single "egress_set_src_mac" [ Packet.mac_of_string "02:00:00:00:bb:01" ]));
+  if has "decap_table" then
+    add (Entry.make ~table:"decap_table" ~priority:1
+           ~matches:
+             [ fm "dst_ip"
+                 (Entry.M_ternary (Ternary.exact (Packet.ipv4_of_string "172.16.0.1"))) ]
+           (single "gre_decap" []));
+  List.rev !e
+
+let punt_test_packet info =
+  let has_key table key =
+    match P4info.find_table info table with
+    | Some ti -> P4info.find_match_field ti key <> None
+    | None -> false
+  in
+  let dst_port = if has_key "acl_ingress_table" "dst_ip" then 20000 else 9999 in
+  { Packet.headers =
+      [ Packet.ethernet_frame ~dst:"02:00:00:00:00:02" ~ether_type:0x0800 ();
+        Packet.ipv4_header ~src:"192.0.2.7" ~dst:"10.99.0.1" ();
+        Packet.udp_header ~src_port:1234 ~dst_port () ];
+    payload = "" }
+
+let forward_test_packet =
+  { Packet.headers =
+      [ Packet.ethernet_frame ~dst:"02:00:00:00:aa:01" ~ether_type:0x0800 ();
+        Packet.ipv4_header ~src:"192.0.2.7" ~dst:"10.50.1.9" ();
+        Packet.udp_header ~src_port:1234 ~dst_port:20000 () ];
+    payload = "" }
+
+let run_all stack =
+  let info = Stack.info stack in
+  let installed = entries info in
+  let results = ref [] in
+  let record test ok = results := (test, ok) :: !results in
+
+  (* 1. Set P4Info *)
+  let p4info_ok = Status.is_ok (Stack.push_p4info stack) in
+  record Fault.Set_p4info p4info_ok;
+
+  (* 2. Table entry programming: one batch per table, in order. *)
+  let programming_ok =
+    List.for_all
+      (fun e ->
+        let resp = Stack.write stack { Request.updates = [ Request.insert e ] } in
+        Request.write_ok resp)
+      installed
+  in
+  record Fault.Table_entry_programming (p4info_ok && programming_ok);
+
+  (* 3. Read all tables and compare. *)
+  let read_ok =
+    let expected = State.create () in
+    List.iter (fun e -> ignore (State.insert expected e)) installed;
+    let actual = State.create () in
+    List.iter (fun e -> ignore (State.insert actual e)) (Stack.read stack).entries;
+    State.equal expected actual
+  in
+  record Fault.Read_all_tables (p4info_ok && programming_ok && read_ok);
+
+  (* 4. Packet-in: the ACL trap rule punts. *)
+  let packet_in_ok =
+    let b =
+      Stack.inject stack ~ingress_port:1 (Packet.to_bytes (punt_test_packet info))
+    in
+    b.Interp.b_punted
+  in
+  record Fault.Packet_in (p4info_ok && packet_in_ok);
+
+  (* 5. Packet-out on each port. *)
+  let packet_out_ok =
+    List.for_all
+      (fun port ->
+        let po =
+          { Request.po_payload = forward_test_packet; po_egress_port = Some port }
+        in
+        let b = Stack.packet_out stack po in
+        b.Interp.b_egress = Some port && not b.Interp.b_punted)
+      [ 1; 2; 3; 4 ]
+  in
+  record Fault.Packet_out (p4info_ok && packet_out_ok);
+
+  (* 6. Packet forwarding along the installed route. *)
+  let forwarding_ok =
+    let b = Stack.inject stack ~ingress_port:1 (Packet.to_bytes forward_test_packet) in
+    b.Interp.b_egress = Some rif_port && not b.Interp.b_punted
+  in
+  record Fault.Packet_forwarding (p4info_ok && programming_ok && forwarding_ok);
+
+  List.rev !results
+
+let run stack =
+  let results = run_all stack in
+  List.find_opt (fun (_, ok) -> not ok) results |> Option.map fst

@@ -1,0 +1,21 @@
+(** The trivial traditional integration-test suite of §6.2, used to assess
+    which SwitchV-found bugs simpler testing would also have caught
+    (Table 2). Six tests run in sequence against a fresh switch:
+
+    + Set P4Info
+    + Table entry programming (one rule per table, incl. an ACL punt rule
+      and an IPv4 route)
+    + Read all tables (compare with what was installed)
+    + Packet-in (the punt rule punts)
+    + Packet-out (each port emits)
+    + Packet forwarding (the IPv4 route forwards) *)
+
+module Stack = Switchv_switch.Stack
+module Fault = Switchv_switch.Fault
+
+val run : Stack.t -> Fault.trivial_test option
+(** The first test that fails, or [None] when all six pass. *)
+
+val run_all : Stack.t -> (Fault.trivial_test * bool) list
+(** Pass/fail for every test in sequence (later tests still run, using the
+    state the earlier tests left behind). *)

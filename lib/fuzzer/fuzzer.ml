@@ -1,0 +1,877 @@
+module Ast = Switchv_p4ir.Ast
+module P4info = Switchv_p4ir.P4info
+module Bitvec = Switchv_bitvec.Bitvec
+module Prefix = Switchv_bitvec.Prefix
+module Ternary = Switchv_bitvec.Ternary
+module Rng = Switchv_bitvec.Rng
+module Entry = Switchv_p4runtime.Entry
+module Request = Switchv_p4runtime.Request
+module State = Switchv_p4runtime.State
+module Validate = Switchv_p4runtime.Validate
+module Constraint_lang = Switchv_p4constraints.Constraint_lang
+module Bdd = Switchv_p4constraints.Bdd
+
+type config = {
+  updates_per_batch : int;
+  invalid_percent : int;
+  delete_percent : int;
+  modify_percent : int;
+  respect_dependencies : bool;
+}
+
+let default_config =
+  { updates_per_batch = 50; invalid_percent = 30; delete_percent = 25;
+    modify_percent = 10; respect_dependencies = true }
+
+type t = {
+  info : P4info.t;
+  rng : Rng.t;
+  config : config;
+  mirror_ : State.t;
+  bdds : (string, Bdd.compiled option) Hashtbl.t;
+      (* per-table compiled entry restriction (None = unsupported), for the
+         BDD-based constraint sampling of §7 *)
+}
+
+let create ?(config = default_config) info rng =
+  { info; rng; config; mirror_ = State.create (); bdds = Hashtbl.create 8 }
+
+(* Compile a table's entry restriction to a BDD over the bits of the keys
+   it references (§7). Unsupported shapes (LPM keys, ::prefix_length)
+   yield None and callers fall back to heuristics. *)
+let table_bdd t (ti : P4info.table) =
+  match Hashtbl.find_opt t.bdds ti.ti_name with
+  | Some cached -> cached
+  | None ->
+      let compiled =
+        match ti.ti_restriction with
+        | None -> None
+        | Some c -> (
+            let layouts =
+              List.filter_map
+                (fun key ->
+                  match P4info.find_match_field ti key with
+                  | Some { mf_kind = Ast.Exact; mf_width; _ } ->
+                      Some { Bdd.kl_name = key; kl_kind = Bdd.Exact; kl_width = mf_width }
+                  | Some { mf_kind = Ast.Optional; mf_width; _ } ->
+                      Some { Bdd.kl_name = key; kl_kind = Bdd.Optional; kl_width = mf_width }
+                  | Some { mf_kind = Ast.Ternary; mf_width; _ } ->
+                      Some { Bdd.kl_name = key; kl_kind = Bdd.Ternary; kl_width = mf_width }
+                  | Some { mf_kind = Ast.Lpm; _ } | None -> None)
+                (Constraint_lang.keys c)
+            in
+            if List.length layouts <> List.length (Constraint_lang.keys c) then None
+            else
+              match Bdd.compile layouts c with
+              | Ok compiled -> Some compiled
+              | Error _ -> None)
+      in
+      Hashtbl.replace t.bdds ti.ti_name compiled;
+      compiled
+
+(* Rewrite the entry's matches on the sampled keys. A zero ternary mask
+   means the key is omitted. *)
+let merge_assignment (ti : P4info.table) (e : Entry.t) (a : Bdd.assignment) =
+  let sampled k = List.mem_assoc k a.values in
+  let kept =
+    List.filter (fun (fm : Entry.field_match) -> not (sampled fm.fm_field)) e.e_matches
+  in
+  let added =
+    List.filter_map
+      (fun (k, v) ->
+        match P4info.find_match_field ti k with
+        | Some { mf_kind = Ast.Exact; _ } ->
+            Some { Entry.fm_field = k; fm_value = Entry.M_exact v }
+        | Some { mf_kind = Ast.Optional; _ } ->
+            Some { Entry.fm_field = k; fm_value = Entry.M_optional (Some v) }
+        | Some { mf_kind = Ast.Ternary; _ } -> (
+            match List.assoc_opt k a.masks with
+            | Some mask when not (Bitvec.is_zero mask) ->
+                Some
+                  { Entry.fm_field = k;
+                    fm_value = Entry.M_ternary (Ternary.make ~value:v ~mask) }
+            | _ -> None (* wildcard: omit *))
+        | _ -> None)
+      a.values
+  in
+  { e with e_matches = kept @ added }
+
+let mirror t = t.mirror_
+
+type annotated_update = {
+  update : Request.update;
+  mutation : string option;
+}
+
+let mutations =
+  [ "invalid_table_id"; "invalid_table_action"; "invalid_match_field_id";
+    "invalid_match_type"; "duplicate_match_field"; "missing_mandatory_match_field";
+    "wrong_action_arg_count"; "wrong_action_arg_width";
+    "invalid_action_selector_weight"; "invalid_table_implementation";
+    "invalid_reference"; "constraint_violation"; "bdd_constraint_violation";
+    "duplicate_insert"; "delete_nonexistent"; "zero_priority" ]
+
+(* --- batch-local context ----------------------------------------------------- *)
+
+type batch_ctx = {
+  taken : (string, unit) Hashtbl.t;           (* match keys claimed this batch *)
+  tombstoned : (string, unit) Hashtbl.t;       (* match keys being deleted *)
+  batch_refs : (string * string * Bitvec.t) list ref;
+      (* (table, key, value) references made by updates pending in this
+         batch: entries providing these values must not be deleted in the
+         same batch, or validity would depend on execution order (§4.4) *)
+  batch_provides : (string * string * Bitvec.t) list ref;
+      (* values newly provided by pending inserts; Invalid Reference
+         mutations must not collide with them *)
+  batch_inserts : (string, int) Hashtbl.t;
+      (* pending insert count per table, so one batch cannot overshoot a
+         table's guaranteed capacity (which would make acceptance
+         order-dependent) *)
+  mutable ref_index : (table:string -> key:string -> Bitvec.t -> bool) option;
+      (* memoised mirror reference index, valid for this batch *)
+}
+
+let fresh_ctx () =
+  { taken = Hashtbl.create 64; tombstoned = Hashtbl.create 16;
+    batch_refs = ref []; batch_provides = ref []; batch_inserts = Hashtbl.create 16;
+    ref_index = None }
+
+let pending_inserts ctx table =
+  Option.value ~default:0 (Hashtbl.find_opt ctx.batch_inserts table)
+
+let note_pending t ctx (e : Entry.t) =
+  List.iter
+    (fun (r : Validate.reference) ->
+      ctx.batch_refs := (r.ref_table, r.ref_key, r.ref_value) :: !(ctx.batch_refs))
+    (Validate.references t.info e);
+  List.iter
+    (fun (fm : Entry.field_match) ->
+      match fm.fm_value with
+      | Entry.M_exact v | Entry.M_optional (Some v) ->
+          ctx.batch_provides := (e.e_table, fm.fm_field, v) :: !(ctx.batch_provides)
+      | _ -> ())
+    e.e_matches
+
+let provides_batch_referenced ctx (e : Entry.t) =
+  List.exists
+    (fun (table, key, value) ->
+      String.equal table e.e_table
+      &&
+      match Entry.find_match e key with
+      | Some (Entry.M_exact v) | Some (Entry.M_optional (Some v)) -> Bitvec.equal v value
+      | _ -> false)
+    !(ctx.batch_refs)
+
+let claim ctx e =
+  let k = Entry.match_key e in
+  if Hashtbl.mem ctx.taken k then false
+  else begin
+    Hashtbl.add ctx.taken k ();
+    true
+  end
+
+(* Values usable to satisfy a @refers_to (table, key) reference, excluding
+   entries being deleted in this batch. *)
+let referable t ctx ~table ~key =
+  State.entries_of t.mirror_ table
+  |> List.filter (fun e ->
+         (not t.config.respect_dependencies)
+         || not (Hashtbl.mem ctx.tombstoned (Entry.match_key e)))
+  |> List.filter_map (fun e ->
+         match Entry.find_match e key with
+         | Some (Entry.M_exact v) | Some (Entry.M_optional (Some v)) -> Some v
+         | _ -> None)
+
+(* A value guaranteed absent from the referable set (for Invalid Reference),
+   including values pending insertion in this batch. *)
+let unused_value t ctx ~table ~key ~width =
+  let used = referable t ctx ~table ~key in
+  let pending =
+    List.filter_map
+      (fun (tbl, k, v) ->
+        if String.equal tbl table && String.equal k key then Some v else None)
+      !(ctx.batch_provides)
+  in
+  let used = used @ pending in
+  let rec find candidate attempts =
+    let v = Bitvec.of_int ~width candidate in
+    if attempts = 0 || not (List.exists (Bitvec.equal v) used) then v
+    else find (candidate - 1) (attempts - 1)
+  in
+  find ((1 lsl min width 16) - 2) 64
+
+(* --- valid generation --------------------------------------------------------- *)
+
+let small_bv t width =
+  (* Biased toward small values, which interact with references and
+     restrictions more interestingly than uniform 128-bit noise. *)
+  if Rng.int t.rng 2 = 0 then Bitvec.of_int ~width (1 + Rng.int t.rng (min 63 ((1 lsl min width 10) - 1)))
+  else Rng.bitvec t.rng width
+
+let gen_match_value t ctx (mf : P4info.match_field) =
+  let refers v_gen =
+    match mf.mf_refers_to with
+    | Some (table, key) -> (
+        match referable t ctx ~table ~key with
+        | [] -> None
+        | vs -> Some (Rng.choose t.rng vs))
+    | None -> Some (v_gen ())
+  in
+  match mf.mf_kind with
+  | Ast.Exact ->
+      refers (fun () -> small_bv t mf.mf_width)
+      |> Option.map (fun v -> Some (Entry.M_exact v))
+  | Ast.Optional ->
+      if Rng.int t.rng 2 = 0 then Some None
+      else
+        refers (fun () -> small_bv t mf.mf_width)
+        |> Option.map (fun v -> Some (Entry.M_optional (Some v)))
+  | Ast.Lpm ->
+      let len = 1 + Rng.int t.rng mf.mf_width in
+      let v = Rng.bitvec t.rng mf.mf_width in
+      Some (Some (Entry.M_lpm (Prefix.make v len)))
+  | Ast.Ternary ->
+      if Rng.int t.rng 3 = 0 then Some None
+      else begin
+        let mask =
+          let m = Rng.bitvec t.rng mf.mf_width in
+          if Bitvec.is_zero m then Bitvec.ones mf.mf_width else m
+        in
+        let v = Rng.bitvec t.rng mf.mf_width in
+        Some (Some (Entry.M_ternary (Ternary.make ~value:v ~mask)))
+      end
+
+let gen_invocation t ctx (ar : P4info.action_ref) =
+  let args =
+    List.map
+      (fun (p : Ast.param) ->
+        match p.p_refers_to with
+        | Some (table, key) -> (
+            match referable t ctx ~table ~key with
+            | [] -> None
+            | vs -> Some (Rng.choose t.rng vs))
+        | None -> Some (small_bv t p.p_width))
+      ar.ar_params
+  in
+  if List.exists Option.is_none args then None
+  else Some { Entry.ai_name = ar.ar_name; ai_args = List.map Option.get args }
+
+let gen_action t ctx (ti : P4info.table) =
+  (* Avoid generating entries whose action is the bare default marker
+     no_action in selector tables etc.; any permitted action is fine. *)
+  let ar = Rng.choose t.rng ti.ti_actions in
+  if ti.ti_selector then begin
+    let members = 1 + Rng.int t.rng 3 in
+    let invs =
+      List.init members (fun _ ->
+          gen_invocation t ctx (Rng.choose t.rng ti.ti_actions))
+    in
+    if List.exists Option.is_none invs then None
+    else begin
+      let invs = List.map Option.get invs in
+      (* Sometimes duplicate a member: same-action buckets are valid per
+         the P4Runtime spec and a known switch stumbling block (§6.1). *)
+      let invs =
+        match invs with
+        | first :: _ when Rng.int t.rng 3 = 0 -> first :: invs
+        | _ -> invs
+      in
+      Some (Entry.Weighted (List.map (fun i -> (i, 1 + Rng.int t.rng 4)) invs))
+    end
+  end
+  else gen_invocation t ctx ar |> Option.map (fun i -> Entry.Single i)
+
+let gen_entry t ctx (ti : P4info.table) =
+  let matches =
+    List.map
+      (fun (mf : P4info.match_field) ->
+        match gen_match_value t ctx mf with
+        | None -> None (* unsatisfiable reference *)
+        | Some None -> Some None (* omitted wildcard *)
+        | Some (Some v) -> Some (Some { Entry.fm_field = mf.mf_name; fm_value = v }))
+      ti.ti_match_fields
+  in
+  if List.exists Option.is_none matches then None
+  else begin
+    let matches = List.filter_map Fun.id (List.map Option.get matches) in
+    let priority = if P4info.requires_priority ti then 1 + Rng.int t.rng 100 else 0 in
+    match gen_action t ctx ti with
+    | None -> None
+    | Some action ->
+        let entry = Entry.make ~priority ~table:ti.ti_name ~matches action in
+        (* §7: with a compiled restriction BDD available, sample the
+           constrained keys compliantly most of the time, so restricted
+           tables also receive genuinely valid traffic. (Keys that carry
+           @refers_to keep their reference-derived values.) *)
+        let entry =
+          match table_bdd t ti with
+          | Some c when Rng.int t.rng 100 < 60 -> (
+              match Bdd.sample_compliant c t.rng with
+              | Some a ->
+                  let unconstrained_by_refs (k, _) =
+                    match P4info.find_match_field ti k with
+                    | Some { mf_refers_to = Some _; _ } -> false
+                    | _ -> true
+                  in
+                  merge_assignment ti entry
+                    { a with values = List.filter unconstrained_by_refs a.values }
+              | None -> entry)
+          | _ -> entry
+        in
+        Some entry
+  end
+
+let rec gen_valid_insert t ctx attempts =
+  if attempts = 0 then None
+  else begin
+    let ti = Rng.choose t.rng t.info.pi_tables in
+    match gen_entry t ctx ti with
+    | Some e
+      when State.find t.mirror_ e = None
+           && (not (Hashtbl.mem ctx.taken (Entry.match_key e)))
+           && State.count t.mirror_ ti.ti_name + pending_inserts ctx ti.ti_name
+              < ti.ti_size ->
+        Some e
+    | _ -> gen_valid_insert t ctx (attempts - 1)
+  end
+
+let mirror_ref_index t ctx =
+  match ctx.ref_index with
+  | Some idx -> idx
+  | None ->
+      let idx = State.reference_index t.mirror_ t.info in
+      ctx.ref_index <- Some idx;
+      idx
+
+let gen_valid_delete t ctx =
+  let index = mirror_ref_index t ctx in
+  let candidates =
+    State.all t.mirror_
+    |> List.filter (fun e ->
+           (not (Hashtbl.mem ctx.taken (Entry.match_key e)))
+           && (not (State.is_referenced_by index e))
+           && ((not t.config.respect_dependencies)
+              || not (provides_batch_referenced ctx e)))
+  in
+  match candidates with
+  | [] -> None
+  | _ -> Some (Rng.choose t.rng candidates)
+
+let gen_valid_modify t ctx =
+  let candidates =
+    State.all t.mirror_
+    |> List.filter (fun e -> not (Hashtbl.mem ctx.taken (Entry.match_key e)))
+  in
+  match candidates with
+  | [] -> None
+  | _ ->
+      let e = Rng.choose t.rng candidates in
+      (match P4info.find_table t.info e.e_table with
+      | None -> None
+      | Some ti ->
+          gen_action t ctx ti
+          |> Option.map (fun action -> { e with Entry.e_action = action }))
+
+(* --- mutations (§4.2) --------------------------------------------------------- *)
+
+let all_actions info =
+  List.concat_map (fun (ti : P4info.table) -> ti.ti_actions) info.P4info.pi_tables
+
+let mutate t ctx (e : Entry.t) mutation : Entry.t option =
+  let ti = P4info.find_table t.info e.e_table in
+  match (mutation, ti) with
+  | "invalid_table_id", _ ->
+      Some { e with e_table = Printf.sprintf "ghost_table_%d" (Rng.int t.rng 1000) }
+  | "invalid_table_action", Some ti -> (
+      let foreign =
+        all_actions t.info
+        |> List.filter (fun (ar : P4info.action_ref) ->
+               P4info.find_action ti ar.ar_name = None)
+      in
+      match foreign with
+      | [] -> None
+      | _ ->
+          let ar = Rng.choose t.rng foreign in
+          let args = List.map (fun (p : Ast.param) -> Rng.bitvec t.rng p.p_width) ar.ar_params in
+          let inv = { Entry.ai_name = ar.ar_name; ai_args = args } in
+          Some
+            { e with
+              e_action =
+                (match e.e_action with
+                | Entry.Single _ -> Entry.Single inv
+                | Entry.Weighted ws -> Entry.Weighted ((inv, 1) :: List.tl ws)) })
+  | "invalid_match_field_id", _ -> (
+      match e.e_matches with
+      | [] -> None
+      | fm :: rest -> Some { e with e_matches = { fm with fm_field = "ghost_field" } :: rest })
+  | "invalid_match_type", _ -> (
+      let flip (fm : Entry.field_match) =
+        match fm.fm_value with
+        | Entry.M_exact v -> Some { fm with fm_value = Entry.M_lpm (Prefix.full v) }
+        | Entry.M_lpm p -> Some { fm with fm_value = Entry.M_exact (Prefix.value p) }
+        | Entry.M_ternary tn -> Some { fm with fm_value = Entry.M_exact (Ternary.value tn) }
+        | Entry.M_optional (Some v) -> Some { fm with fm_value = Entry.M_ternary (Ternary.exact v) }
+        | Entry.M_optional None -> None
+      in
+      let rec try_flip = function
+        | [] -> None
+        | fm :: rest -> (
+            match flip fm with
+            | Some fm' -> Some (fm' :: rest)
+            | None -> Option.map (fun r -> fm :: r) (try_flip rest))
+      in
+      try_flip e.e_matches |> Option.map (fun ms -> { e with e_matches = ms }))
+  | "duplicate_match_field", _ -> (
+      match e.e_matches with
+      | [] -> None
+      | fm :: _ -> Some { e with e_matches = fm :: e.e_matches })
+  | "missing_mandatory_match_field", Some ti -> (
+      let mandatory =
+        List.filter
+          (fun (fm : Entry.field_match) ->
+            match P4info.find_match_field ti fm.fm_field with
+            | Some { mf_kind = Ast.Exact; _ } -> true
+            | _ -> false)
+          e.e_matches
+      in
+      match mandatory with
+      | [] -> None
+      | fm :: _ ->
+          Some
+            { e with
+              e_matches =
+                List.filter
+                  (fun (m : Entry.field_match) -> not (String.equal m.fm_field fm.fm_field))
+                  e.e_matches })
+  | "wrong_action_arg_count", _ -> (
+      let drop_arg (ai : Entry.action_invocation) =
+        match ai.ai_args with
+        | [] -> { ai with ai_args = [ Bitvec.of_int ~width:8 1 ] }
+        | _ :: rest -> { ai with ai_args = rest }
+      in
+      match e.e_action with
+      | Entry.Single ai -> Some { e with e_action = Entry.Single (drop_arg ai) }
+      | Entry.Weighted ((ai, w) :: rest) ->
+          Some { e with e_action = Entry.Weighted ((drop_arg ai, w) :: rest) }
+      | Entry.Weighted [] -> None)
+  | "wrong_action_arg_width", _ -> (
+      let widen (ai : Entry.action_invocation) =
+        match ai.ai_args with
+        | [] -> None
+        | a :: rest -> Some { ai with ai_args = Bitvec.zero_extend (Bitvec.width a + 8) a :: rest }
+      in
+      match e.e_action with
+      | Entry.Single ai -> widen ai |> Option.map (fun ai -> { e with e_action = Entry.Single ai })
+      | Entry.Weighted ((ai, w) :: rest) ->
+          widen ai
+          |> Option.map (fun ai -> { e with e_action = Entry.Weighted ((ai, w) :: rest) })
+      | Entry.Weighted [] -> None)
+  | "invalid_action_selector_weight", _ -> (
+      match e.e_action with
+      | Entry.Weighted ((ai, _) :: rest) ->
+          Some { e with e_action = Entry.Weighted ((ai, -1 * Rng.int t.rng 2) :: rest) }
+      | _ -> None)
+  | "invalid_table_implementation", _ -> (
+      match e.e_action with
+      | Entry.Single ai -> Some { e with e_action = Entry.Weighted [ (ai, 1) ] }
+      | Entry.Weighted ((ai, _) :: _) -> Some { e with e_action = Entry.Single ai }
+      | Entry.Weighted [] -> None)
+  | "invalid_reference", Some ti -> (
+      (* Replace a reference (match or action arg) with a non-existent id. *)
+      let try_match () =
+        let rec go = function
+          | [] -> None
+          | (fm : Entry.field_match) :: rest -> (
+              match P4info.find_match_field ti fm.fm_field with
+              | Some { mf_refers_to = Some (table, key); mf_width; _ } -> (
+                  match fm.fm_value with
+                  | Entry.M_exact _ ->
+                      let v = unused_value t ctx ~table ~key ~width:mf_width in
+                      Some ({ fm with fm_value = Entry.M_exact v } :: rest)
+                  | _ -> Option.map (fun r -> fm :: r) (go rest))
+              | _ -> Option.map (fun r -> fm :: r) (go rest))
+        in
+        go e.e_matches |> Option.map (fun ms -> { e with e_matches = ms })
+      in
+      let try_args () =
+        let fix (ai : Entry.action_invocation) =
+          match P4info.find_action ti ai.ai_name with
+          | None -> None
+          | Some ar ->
+              let changed = ref false in
+              let args =
+                List.map2
+                  (fun (p : Ast.param) arg ->
+                    match p.p_refers_to with
+                    | Some (table, key) when not !changed ->
+                        changed := true;
+                        unused_value t ctx ~table ~key ~width:p.p_width
+                    | _ -> arg)
+                  ar.ar_params ai.ai_args
+              in
+              if !changed then Some { ai with ai_args = args } else None
+        in
+        match e.e_action with
+        | Entry.Single ai -> fix ai |> Option.map (fun ai -> { e with e_action = Entry.Single ai })
+        | Entry.Weighted ((ai, w) :: rest) ->
+            fix ai |> Option.map (fun ai -> { e with e_action = Entry.Weighted ((ai, w) :: rest) })
+        | Entry.Weighted [] -> None
+      in
+      match try_match () with Some e' -> Some e' | None -> try_args ())
+  | "constraint_violation", Some ti -> (
+      match ti.ti_restriction with
+      | None -> None
+      | Some _ ->
+          (* Candidate perturbations, kept syntactically valid: zero each
+             exact key; force every 1-bit ternary key to 1 (violates
+             mutual-exclusion restrictions); add full-mask matches on
+             omitted ternary keys (violates ::mask == 0 restrictions). *)
+          let zero_key (fm : Entry.field_match) =
+            match fm.fm_value with
+            | Entry.M_exact v ->
+                Some
+                  { e with
+                    e_matches =
+                      List.map
+                        (fun (m : Entry.field_match) ->
+                          if String.equal m.fm_field fm.fm_field then
+                            { m with
+                              fm_value = Entry.M_exact (Bitvec.zero (Bitvec.width v)) }
+                          else m)
+                        e.e_matches }
+            | _ -> None
+          in
+          let all_flags_on =
+            let flags =
+              List.filter
+                (fun (mf : P4info.match_field) ->
+                  mf.mf_kind = Ast.Ternary && mf.mf_width = 1)
+                ti.ti_match_fields
+            in
+            if List.length flags < 2 then None
+            else
+              Some
+                { e with
+                  e_matches =
+                    List.map (fun (mf : P4info.match_field) ->
+                        { Entry.fm_field = mf.mf_name;
+                          fm_value =
+                            Entry.M_ternary (Ternary.exact (Bitvec.of_int ~width:1 1)) })
+                      flags
+                    @ List.filter
+                        (fun (m : Entry.field_match) ->
+                          not
+                            (List.exists
+                               (fun (mf : P4info.match_field) ->
+                                 String.equal mf.mf_name m.fm_field)
+                               flags))
+                        e.e_matches }
+          in
+          let fill_omitted =
+            List.filter_map
+              (fun (mf : P4info.match_field) ->
+                if mf.mf_kind = Ast.Ternary && Entry.find_match e mf.mf_name = None then
+                  Some
+                    { e with
+                      e_matches =
+                        { Entry.fm_field = mf.mf_name;
+                          fm_value =
+                            Entry.M_ternary
+                              (Ternary.exact (Rng.bitvec t.rng mf.mf_width)) }
+                        :: e.e_matches }
+                else None)
+              ti.ti_match_fields
+          in
+          let candidates =
+            List.filter_map zero_key e.e_matches
+            @ (match all_flags_on with Some c -> [ c ] | None -> [])
+            @ fill_omitted
+          in
+          List.find_opt
+            (fun cand -> Validate.constraint_compliant ti cand = Ok false)
+            candidates)
+  | "bdd_constraint_violation", Some ti -> (
+      match table_bdd t ti with
+      | None -> None
+      | Some c ->
+          Bdd.sample_near_violation c t.rng
+          |> Option.map (fun a -> merge_assignment ti e a))
+  | "zero_priority", Some ti ->
+      if P4info.requires_priority ti then Some { e with e_priority = 0 } else None
+  | _, _ -> None
+
+(* --- batch generation ---------------------------------------------------------- *)
+
+let gen_base t ctx =
+  match gen_valid_insert t ctx 10 with
+  | Some e -> Some e
+  | None -> (
+      match State.all t.mirror_ with
+      | [] -> None
+      | es -> Some (Rng.choose t.rng es))
+
+let try_mutation t ctx mutation =
+  match mutation with
+  | "duplicate_insert" -> (
+      match State.all t.mirror_ with
+      | [] -> None
+      | es ->
+          let victim = Rng.choose t.rng es in
+          if Hashtbl.mem ctx.taken (Entry.match_key victim) then None
+          else Some (Request.insert victim, "duplicate_insert"))
+  | "delete_nonexistent" -> (
+      match gen_valid_insert t ctx 10 with
+      | Some ghost when State.find t.mirror_ ghost = None ->
+          Some (Request.delete ghost, "delete_nonexistent")
+      | _ -> None)
+  | m -> (
+      (* Several bases, since many mutations only apply to entries with a
+         particular shape (restrictions, references, selectors, ...). *)
+      let rec with_bases attempts =
+        if attempts = 0 then None
+        else
+          match gen_base t ctx with
+          | None -> None
+          | Some base -> (
+              match mutate t ctx base m with
+              | Some e -> Some (Request.insert e, m)
+              | None -> with_bases (attempts - 1))
+      in
+      with_bases 6)
+
+let gen_invalid_update t ctx =
+  (* Pick the mutation first (uniformly), so rarely-applicable but
+     interesting mutations (constraint violations, selector weights) get a
+     fair share; fall back to whatever applies. *)
+  let preferred = Rng.choose t.rng mutations in
+  match try_mutation t ctx preferred with
+  | Some r -> Some r
+  | None ->
+      let rec fallback = function
+        | [] -> None
+        | m :: rest -> (
+            match try_mutation t ctx m with Some r -> Some r | None -> fallback rest)
+      in
+      fallback (Rng.shuffle t.rng mutations)
+
+(* Tables in @refers_to dependency order: referenced tables first. *)
+let dependency_order (info : P4info.t) =
+  let depends_on (ti : P4info.table) =
+    let from_keys =
+      List.filter_map (fun (mf : P4info.match_field) ->
+          Option.map fst mf.mf_refers_to)
+        ti.ti_match_fields
+    in
+    let from_params =
+      List.concat_map
+        (fun (ar : P4info.action_ref) ->
+          List.filter_map (fun (p : Ast.param) -> Option.map fst p.p_refers_to)
+            ar.ar_params)
+        ti.ti_actions
+    in
+    List.sort_uniq String.compare
+      (List.filter (fun n -> not (String.equal n ti.ti_name)) (from_keys @ from_params))
+  in
+  let placed = Hashtbl.create 16 in
+  let order = ref [] in
+  let rec place fuel (ti : P4info.table) =
+    if fuel > 0 && not (Hashtbl.mem placed ti.ti_name) then begin
+      List.iter
+        (fun dep ->
+          match P4info.find_table info dep with
+          | Some dti -> place (fuel - 1) dti
+          | None -> ())
+        (depends_on ti);
+      if not (Hashtbl.mem placed ti.ti_name) then begin
+        Hashtbl.add placed ti.ti_name ();
+        order := ti :: !order
+      end
+    end
+  in
+  List.iter (place 16) info.pi_tables;
+  List.rev !order
+
+let sweep t =
+  let batches = ref [] in
+  let tables = dependency_order t.info in
+  let flush_batch updates pending =
+    if updates <> [] then begin
+      List.iter
+        (fun (op, e) ->
+          match op with
+          | Request.Insert -> ignore (State.insert t.mirror_ e)
+          | Request.Modify -> ignore (State.modify t.mirror_ e)
+          | Request.Delete -> ignore (State.delete t.mirror_ e))
+        (List.rev pending);
+      batches := List.rev updates :: !batches
+    end
+  in
+  (* Phase 1: valid inserts, a few per table, one batch per dependency
+     rank (entries must not reference same-batch inserts). *)
+  List.iter
+    (fun (ti : P4info.table) ->
+      let ctx = fresh_ctx () in
+      let updates = ref [] in
+      let pending = ref [] in
+      for _ = 1 to 3 do
+        match gen_entry t ctx ti with
+        | Some e
+          when State.find t.mirror_ e = None
+               && claim ctx e
+               && State.count t.mirror_ ti.ti_name + pending_inserts ctx ti.ti_name
+                  < ti.ti_size ->
+            note_pending t ctx e;
+            Hashtbl.replace ctx.batch_inserts ti.ti_name
+              (pending_inserts ctx ti.ti_name + 1);
+            updates := { update = Request.insert e; mutation = None } :: !updates;
+            pending := (Request.Insert, e) :: !pending
+        | _ -> ()
+      done;
+      flush_batch !updates !pending)
+    tables;
+  (* Phase 2: one valid modify and one valid delete per table. *)
+  List.iter
+    (fun (ti : P4info.table) ->
+      let ctx = fresh_ctx () in
+      let updates = ref [] in
+      let pending = ref [] in
+      (let candidates =
+         State.entries_of t.mirror_ ti.ti_name
+         |> List.filter (fun e -> not (Hashtbl.mem ctx.taken (Entry.match_key e)))
+       in
+       match candidates with
+       | e :: _ when claim ctx e -> (
+           match gen_action t ctx ti with
+           | Some action ->
+               let e' = { e with Entry.e_action = action } in
+               note_pending t ctx e';
+               updates := { update = Request.modify e'; mutation = None } :: !updates;
+               pending := (Request.Modify, e') :: !pending
+           | None -> ())
+       | _ -> ());
+      (let index = mirror_ref_index t ctx in
+       let deletable =
+         State.entries_of t.mirror_ ti.ti_name
+         |> List.filter (fun e ->
+                (not (Hashtbl.mem ctx.taken (Entry.match_key e)))
+                && (not (State.is_referenced_by index e))
+                && not (provides_batch_referenced ctx e))
+       in
+       match deletable with
+       | e :: _ when claim ctx e ->
+           Hashtbl.add ctx.tombstoned (Entry.match_key e) ();
+           updates := { update = Request.delete e; mutation = None } :: !updates;
+           pending := (Request.Delete, e) :: !pending
+       | _ -> ());
+      flush_batch !updates !pending)
+    tables;
+  (* Phase 3: every applicable mutation against every table. Each batch
+     also carries one valid insert, so batch-level misbehaviour (e.g.
+     aborting a whole batch over one bad delete) is observable as a
+     spurious rejection of the valid update. *)
+  List.iter
+    (fun (ti : P4info.table) ->
+      let ctx = fresh_ctx () in
+      let updates = ref [] in
+      let pending = ref [] in
+      (match gen_valid_insert t ctx 10 with
+      | Some e when claim ctx e ->
+          note_pending t ctx e;
+          updates := { update = Request.insert e; mutation = None } :: !updates;
+          pending := (Request.Insert, e) :: !pending
+      | _ -> ());
+      List.iter
+        (fun m ->
+          let attempt =
+            match m with
+            | "duplicate_insert" -> (
+                match
+                  State.entries_of t.mirror_ ti.ti_name
+                  |> List.filter (fun e -> not (Hashtbl.mem ctx.taken (Entry.match_key e)))
+                with
+                | e :: _ -> Some (Request.insert e, m)
+                | [] -> None)
+            | "delete_nonexistent" -> (
+                match gen_entry t ctx ti with
+                | Some ghost when State.find t.mirror_ ghost = None ->
+                    Some (Request.delete ghost, m)
+                | _ -> None)
+            | m ->
+                (* Some mutations need a base of a particular shape (e.g.
+                   at least one present match); retry with fresh bases. *)
+                let rec with_bases k =
+                  if k = 0 then None
+                  else
+                    match gen_entry t ctx ti with
+                    | Some base -> (
+                        match mutate t ctx base m with
+                        | Some e -> Some (Request.insert e, m)
+                        | None -> with_bases (k - 1))
+                    | None -> with_bases (k - 1)
+                in
+                with_bases 6
+          in
+          match attempt with
+          | Some (u, m) when claim ctx u.entry ->
+              updates := { update = u; mutation = Some m } :: !updates
+          | _ -> ())
+        mutations;
+      flush_batch !updates !pending)
+    tables;
+  List.rev !batches
+
+let next_batch t =
+  let ctx = fresh_ctx () in
+  let updates = ref [] in
+  let pending_valid = ref [] in
+  let n = t.config.updates_per_batch in
+  for _ = 1 to n do
+    let r = Rng.int t.rng 100 in
+    if r < t.config.invalid_percent then begin
+      match gen_invalid_update t ctx with
+      | Some (u, m) ->
+          (match Hashtbl.mem ctx.taken (Entry.match_key u.entry) with
+          | true -> ()
+          | false ->
+              ignore (claim ctx u.entry);
+              updates := { update = u; mutation = Some m } :: !updates)
+      | None -> ()
+    end
+    else begin
+      let r' = Rng.int t.rng 100 in
+      if r' < t.config.delete_percent then begin
+        match gen_valid_delete t ctx with
+        | Some e when claim ctx e ->
+            Hashtbl.add ctx.tombstoned (Entry.match_key e) ();
+            updates := { update = Request.delete e; mutation = None } :: !updates;
+            pending_valid := (Request.Delete, e) :: !pending_valid
+        | _ -> ()
+      end
+      else if r' < t.config.delete_percent + t.config.modify_percent then begin
+        match gen_valid_modify t ctx with
+        | Some e when claim ctx e ->
+            note_pending t ctx e;
+            updates := { update = Request.modify e; mutation = None } :: !updates;
+            pending_valid := (Request.Modify, e) :: !pending_valid
+        | _ -> ()
+      end
+      else begin
+        match gen_valid_insert t ctx 10 with
+        | Some e when claim ctx e ->
+            note_pending t ctx e;
+            Hashtbl.replace ctx.batch_inserts e.e_table (pending_inserts ctx e.e_table + 1);
+            updates := { update = Request.insert e; mutation = None } :: !updates;
+            pending_valid := (Request.Insert, e) :: !pending_valid
+        | _ -> ()
+      end
+    end
+  done;
+  (* Optimistically apply valid updates to the mirror. *)
+  List.iter
+    (fun (op, e) ->
+      match op with
+      | Request.Insert -> ignore (State.insert t.mirror_ e)
+      | Request.Modify -> ignore (State.modify t.mirror_ e)
+      | Request.Delete -> ignore (State.delete t.mirror_ e))
+    (List.rev !pending_valid);
+  List.rev !updates

@@ -1,0 +1,67 @@
+(** p4-fuzzer: control-plane request generation (§4).
+
+    Given a P4Info schema, generates batched Write requests containing both
+    valid updates and "interestingly invalid" ones produced by applying a
+    single mutation to a valid update (§4.2). Generation is directed by the
+    schema — field widths, permitted actions, reference annotations — and
+    by a mirror of the entries installed so far, so that valid updates can
+    reference previously installed objects, and deletions target existing
+    (preferably unreferenced) entries.
+
+    Batches are formed so that no update depends on another update in the
+    same batch ([@refers_to]-derived ordering, §4.4): a switch may execute
+    a batch in any order, so intra-batch dependencies would make validity
+    order-dependent and unjudgeable. *)
+
+module P4info = Switchv_p4ir.P4info
+module Entry = Switchv_p4runtime.Entry
+module Request = Switchv_p4runtime.Request
+module State = Switchv_p4runtime.State
+module Rng = Switchv_bitvec.Rng
+
+type config = {
+  updates_per_batch : int;     (** ~50 in the paper's campaigns *)
+  invalid_percent : int;       (** share of mutated (invalid) updates *)
+  delete_percent : int;        (** share of valid updates that are deletes *)
+  modify_percent : int;        (** share of valid updates that are modifies *)
+  respect_dependencies : bool;
+      (** When false, batches may contain internal dependencies (deletes of
+          entries referenced by same-batch inserts) — the ablation of the
+          paper's @refers_to-aware batching, expected to produce spurious
+          oracle incidents. *)
+}
+
+val default_config : config
+
+type t
+
+val create : ?config:config -> P4info.t -> Rng.t -> t
+
+val mirror : t -> State.t
+(** The fuzzer's view of what should be installed, assuming the switch
+    accepted every valid update. Used by campaigns for reporting only; the
+    oracle keeps its own observed state. *)
+
+type annotated_update = {
+  update : Request.update;
+  mutation : string option;
+      (** The mutation applied, or [None] for an un-mutated update. The
+          oracle classifies validity independently. *)
+}
+
+val next_batch : t -> annotated_update list
+(** Generate the next batch. The fuzzer optimistically applies its own
+    valid updates to [mirror] (the oracle reconciles against the switch's
+    actual state). *)
+
+val sweep : t -> annotated_update list list
+(** Directed batches that systematically exercise the whole control
+    surface: valid inserts into every table (in [@refers_to] dependency
+    order, several per table), one valid modify and one valid delete per
+    table where possible, then one instance of {e every applicable
+    mutation against every table}. Campaigns run a sweep before the random
+    phase so that table-specific handling is always covered at least
+    once. *)
+
+val mutations : string list
+(** Names of all implemented mutations (§4.2). *)

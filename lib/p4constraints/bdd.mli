@@ -1,0 +1,59 @@
+(** Binary decision diagrams over table-entry bits, for constraint-aware
+    fuzzing — the mechanism §7 of the paper describes as ongoing work:
+
+    "transform every constraint in the P4 program into a BDD over the bits
+    of the header and metadata fields referred to in that constraint. We
+    can efficiently sample solutions to this BDD to ensure that our valid
+    tests are constraint-compliant, and randomly mutate one of the nodes
+    of the BDD to generate (otherwise valid) table entries that violate
+    the corresponding constraint."
+
+    [compile] turns an [@entry_restriction] into a reduced ordered BDD
+    whose variables are the value bits of the table's keys (and, for
+    ternary keys, their mask bits — a mask of zero means the key is
+    omitted). Exact model counting over the BDD gives uniform sampling of
+    compliant entries; a near-miss violation is a compliant sample with
+    one variable flipped across the constraint boundary.
+
+    Constraints mentioning [::prefix_length] (LPM structure is not a flat
+    bit vector) are reported as unsupported; callers fall back to the
+    heuristic mutation. *)
+
+module Bitvec = Switchv_bitvec.Bitvec
+module Rng = Switchv_bitvec.Rng
+
+type key_kind = Exact | Ternary | Optional
+
+type key_layout = { kl_name : string; kl_kind : key_kind; kl_width : int }
+
+type compiled
+
+val compile : key_layout list -> Constraint_lang.t -> (compiled, string) result
+(** [Error] reports an unsupported construct or an unknown key. *)
+
+val size : compiled -> int
+(** Number of BDD nodes (diagnostics). *)
+
+val model_count : compiled -> float
+(** Number of satisfying assignments over the key bits (exact up to float
+    precision). 0. means the restriction is unsatisfiable. *)
+
+type assignment = {
+  values : (string * Bitvec.t) list;   (** per key: the match value *)
+  masks : (string * Bitvec.t) list;    (** per ternary key: the mask *)
+}
+
+val sample_compliant : compiled -> Rng.t -> assignment option
+(** Uniform over satisfying assignments; [None] if unsatisfiable. *)
+
+val sample_violation : compiled -> Rng.t -> assignment option
+(** Uniform over {e violating} assignments; [None] if the restriction is a
+    tautology over the keys. *)
+
+val sample_near_violation : compiled -> Rng.t -> assignment option
+(** A compliant sample with one bit flipped so that it violates the
+    restriction — the paper's "mutate one node" generation. Falls back to
+    [sample_violation] when no single-bit flip crosses the boundary. *)
+
+val satisfies : compiled -> assignment -> bool
+(** Evaluate an assignment against the compiled restriction. *)

@@ -1,0 +1,25 @@
+(** A textual frontend for the P4 model IR.
+
+    Parses the P4-16-flavoured dialect emitted by {!Pretty} (and written by
+    hand in tests and examples), so that models can live as source files —
+    the paper's "living documentation" role — rather than only as OCaml
+    constructors. The dialect is the IR's exact feature set: header and
+    metadata declarations, a linear parser state machine, actions over
+    bit-vector fields, match-action tables with [@id], [@name],
+    [@refers_to] and [@entry_restriction] annotations, and ingress/egress
+    apply blocks.
+
+    Declarations must appear in dependency order (headers and metadata
+    before anything that references their fields), which {!Pretty} already
+    guarantees. [parse] does {e not} run {!Typecheck}; callers should. *)
+
+val parse : name:string -> string -> (Ast.program, string) result
+(** [parse ~name source] — [name] becomes [p_name]. Errors include a line
+    number. *)
+
+val parse_exn : name:string -> string -> Ast.program
+
+val roundtrip : Ast.program -> (Ast.program, string) result
+(** [parse ~name (Pretty.program_to_string p)] — the self-test used by the
+    test suite: pretty-printing and re-parsing must reproduce the
+    program. *)

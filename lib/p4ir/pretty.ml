@@ -1,0 +1,150 @@
+open Ast
+module Bitvec = Switchv_bitvec.Bitvec
+module Constraint_lang = Switchv_p4constraints.Constraint_lang
+
+let pp_const fmt c =
+  Format.fprintf fmt "%dw0x%s" (Bitvec.width c) (Bitvec.to_hex_string c)
+
+let rec pp_expr fmt = function
+  | E_const c -> pp_const fmt c
+  | E_field fr -> Format.pp_print_string fmt (field_ref_to_string fr)
+  | E_param name -> Format.pp_print_string fmt name
+  | E_not a -> Format.fprintf fmt "~%a" pp_expr a
+  | E_and (a, b) -> Format.fprintf fmt "(%a & %a)" pp_expr a pp_expr b
+  | E_or (a, b) -> Format.fprintf fmt "(%a | %a)" pp_expr a pp_expr b
+  | E_xor (a, b) -> Format.fprintf fmt "(%a ^ %a)" pp_expr a pp_expr b
+  | E_add (a, b) -> Format.fprintf fmt "(%a + %a)" pp_expr a pp_expr b
+  | E_sub (a, b) -> Format.fprintf fmt "(%a - %a)" pp_expr a pp_expr b
+  | E_slice (hi, lo, a) -> Format.fprintf fmt "%a[%d:%d]" pp_expr a hi lo
+  | E_concat (a, b) -> Format.fprintf fmt "(%a ++ %a)" pp_expr a pp_expr b
+  | E_hash (name, args) ->
+      Format.fprintf fmt "hash<%s>(%a)" name
+        (Format.pp_print_list
+           ~pp_sep:(fun fmt () -> Format.pp_print_string fmt ", ")
+           pp_expr)
+        args
+
+let rec pp_bexpr fmt = function
+  | B_true -> Format.pp_print_string fmt "true"
+  | B_false -> Format.pp_print_string fmt "false"
+  | B_is_valid h -> Format.fprintf fmt "headers.%s.isValid()" h
+  | B_eq (a, b) -> Format.fprintf fmt "%a == %a" pp_expr a pp_expr b
+  | B_ne (a, b) -> Format.fprintf fmt "%a != %a" pp_expr a pp_expr b
+  | B_ult (a, b) -> Format.fprintf fmt "%a < %a" pp_expr a pp_expr b
+  | B_ule (a, b) -> Format.fprintf fmt "%a <= %a" pp_expr a pp_expr b
+  | B_not a -> Format.fprintf fmt "!(%a)" pp_bexpr a
+  | B_and (a, b) -> Format.fprintf fmt "(%a && %a)" pp_bexpr a pp_bexpr b
+  | B_or (a, b) -> Format.fprintf fmt "(%a || %a)" pp_bexpr a pp_bexpr b
+
+let pp_stmt fmt = function
+  | S_nop -> Format.pp_print_string fmt "/* no-op */;"
+  | S_assign (fr, e) ->
+      Format.fprintf fmt "%s = %a;" (field_ref_to_string fr) pp_expr e
+  | S_set_valid (h, true) -> Format.fprintf fmt "headers.%s.setValid();" h
+  | S_set_valid (h, false) -> Format.fprintf fmt "headers.%s.setInvalid();" h
+
+let pp_action fmt a =
+  let param_to_string p =
+    let ann =
+      match p.p_refers_to with
+      | None -> ""
+      | Some (tbl, key) -> Printf.sprintf "@refers_to(%s, %s) " tbl key
+    in
+    Printf.sprintf "%sbit<%d> %s" ann p.p_width p.p_name
+  in
+  Format.fprintf fmt "@[<v 2>action %s(%s) {@," a.a_name
+    (String.concat ", " (List.map param_to_string a.a_params));
+  Format.pp_print_list ~pp_sep:Format.pp_print_cut pp_stmt fmt a.a_body;
+  Format.fprintf fmt "@]@,}"
+
+let kind_to_string = function
+  | Exact -> "exact"
+  | Lpm -> "lpm"
+  | Ternary -> "ternary"
+  | Optional -> "optional"
+
+let pp_table p fmt t =
+  (match t.t_entry_restriction with
+  | Some c ->
+      Format.fprintf fmt "@entry_restriction(\"%s\")@," (Constraint_lang.to_string c)
+  | None -> ());
+  Format.fprintf fmt "@id(%d)@," t.t_id;
+  Format.fprintf fmt "@[<v 2>table %s {@," t.t_name;
+  Format.fprintf fmt "@[<v 2>key = {@,";
+  List.iter
+    (fun k ->
+      Format.fprintf fmt "%a : %s%s @name(\"%s\");@," pp_expr k.k_expr
+        (kind_to_string k.k_kind)
+        (match k.k_refers_to with
+        | None -> ""
+        | Some (tbl, key) -> Printf.sprintf " @refers_to(%s, %s)" tbl key)
+        k.k_name)
+    t.t_keys;
+  Format.fprintf fmt "@]@,}@,";
+  Format.fprintf fmt "actions = { %s }@," (String.concat "; " t.t_actions);
+  (let dname, dargs = t.t_default_action in
+   Format.fprintf fmt "const default_action = %s(%s);@," dname
+     (String.concat ", " (List.map (Format.asprintf "%a" pp_const) dargs)));
+  (if t.t_selector then Format.fprintf fmt "implementation = action_selector;@,");
+  Format.fprintf fmt "size = %d;" t.t_size;
+  ignore p;
+  Format.fprintf fmt "@]@,}"
+
+let rec pp_control fmt = function
+  | C_nop -> ()
+  | C_stmt s -> pp_stmt fmt s
+  | C_seq (a, C_nop) -> pp_control fmt a
+  | C_seq (a, b) ->
+      pp_control fmt a;
+      Format.pp_print_cut fmt ();
+      pp_control fmt b
+  | C_table name -> Format.fprintf fmt "%s.apply();" name
+  | C_if (cond, a, C_nop) ->
+      Format.fprintf fmt "@[<v 2>if (%a) {@,%a@]@,}" pp_bexpr cond pp_control a
+  | C_if (cond, a, b) ->
+      Format.fprintf fmt "@[<v 2>if (%a) {@,%a@]@,@[<v 2>} else {@,%a@]@,}" pp_bexpr
+        cond pp_control a pp_control b
+
+let pp_parser fmt parser =
+  Format.fprintf fmt "@[<v 2>parser (start = %s) {@," parser.start;
+  List.iter
+    (fun s ->
+      Format.fprintf fmt "@[<v 2>state %s {@," s.ps_name;
+      (match s.ps_extract with
+      | Some h -> Format.fprintf fmt "packet.extract(headers.%s);@," h
+      | None -> ());
+      (match s.ps_next with
+      | T_accept -> Format.fprintf fmt "transition accept;"
+      | T_select (e, cases, default) ->
+          Format.fprintf fmt "@[<v 2>transition select(%a) {@," pp_expr e;
+          List.iter
+            (fun (c, target) ->
+              Format.fprintf fmt "%a : %s;@," pp_const c target)
+            cases;
+          Format.fprintf fmt "default : %s;@]@,}" default);
+      Format.fprintf fmt "@]@,}@,")
+    parser.states;
+  Format.fprintf fmt "@]@,}"
+
+let pp_program fmt p =
+  Format.fprintf fmt "@[<v>// P4 model: %s@,@," p.p_name;
+  List.iter
+    (fun h ->
+      Format.fprintf fmt "@[<v 2>header %s_t {@," h.Switchv_packet.Header.name;
+      List.iter
+        (fun (f : Switchv_packet.Header.field) ->
+          Format.fprintf fmt "bit<%d> %s;@," f.f_width f.f_name)
+        h.Switchv_packet.Header.fields;
+      Format.fprintf fmt "@]@,}@,")
+    p.p_headers;
+  Format.fprintf fmt "@[<v 2>struct metadata_t {@,";
+  List.iter (fun (n, w) -> Format.fprintf fmt "bit<%d> %s;@," w n) p.p_metadata;
+  Format.fprintf fmt "@]@,}@,@,";
+  pp_parser fmt p.p_parser;
+  Format.fprintf fmt "@,@,";
+  List.iter (fun a -> Format.fprintf fmt "%a@,@," pp_action a) p.p_actions;
+  List.iter (fun t -> Format.fprintf fmt "%a@,@," (pp_table p) t) p.p_tables;
+  Format.fprintf fmt "@[<v 2>control ingress {@,%a@]@,}@,@," pp_control p.p_ingress;
+  Format.fprintf fmt "@[<v 2>control egress {@,%a@]@,}@,@]" pp_control p.p_egress
+
+let program_to_string p = Format.asprintf "%a" pp_program p

@@ -1,0 +1,15 @@
+(** Static well-formedness checking of P4 model programs.
+
+    A program that passes [check] has the invariants every downstream
+    component relies on: all field references resolve at consistent widths,
+    all action/table/parser-state references resolve, [@refers_to] targets
+    exist with matching key widths, entry restrictions mention only the
+    table's own keys, and no table is applied more than once across the
+    ingress and egress pipelines (the fixed-function/BMv2 restriction the
+    paper discusses in §3). *)
+
+val check : Ast.program -> (unit, string list) result
+(** [Error msgs] lists every problem found (not just the first). *)
+
+val check_exn : Ast.program -> unit
+(** Raises [Invalid_argument] with all messages joined. *)

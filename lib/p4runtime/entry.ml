@@ -1,0 +1,92 @@
+module Bitvec = Switchv_bitvec.Bitvec
+module Prefix = Switchv_bitvec.Prefix
+module Ternary = Switchv_bitvec.Ternary
+
+type match_value =
+  | M_exact of Bitvec.t
+  | M_lpm of Prefix.t
+  | M_ternary of Ternary.t
+  | M_optional of Bitvec.t option
+
+type field_match = { fm_field : string; fm_value : match_value }
+
+type action_invocation = { ai_name : string; ai_args : Bitvec.t list }
+
+type action_choice =
+  | Single of action_invocation
+  | Weighted of (action_invocation * int) list
+
+type t = {
+  e_table : string;
+  e_matches : field_match list;
+  e_action : action_choice;
+  e_priority : int;
+}
+
+let make ?(priority = 0) ~table ~matches action =
+  { e_table = table; e_matches = matches; e_action = action; e_priority = priority }
+
+let find_match t name =
+  List.find_opt (fun fm -> String.equal fm.fm_field name) t.e_matches
+  |> Option.map (fun fm -> fm.fm_value)
+
+let match_value_to_string = function
+  | M_exact v -> Printf.sprintf "exact:%s" (Bitvec.to_hex_string v)
+  | M_lpm p -> Printf.sprintf "lpm:%s/%d" (Bitvec.to_hex_string (Prefix.value p)) (Prefix.len p)
+  | M_ternary tn ->
+      Printf.sprintf "ternary:%s&%s"
+        (Bitvec.to_hex_string (Ternary.value tn))
+        (Bitvec.to_hex_string (Ternary.mask tn))
+  | M_optional (Some v) -> Printf.sprintf "optional:%s" (Bitvec.to_hex_string v)
+  | M_optional None -> "optional:*"
+
+let match_key t =
+  let matches =
+    List.sort (fun a b -> String.compare a.fm_field b.fm_field) t.e_matches
+  in
+  let parts =
+    List.map
+      (fun fm -> Printf.sprintf "%s=%s" fm.fm_field (match_value_to_string fm.fm_value))
+      matches
+  in
+  Printf.sprintf "%s[%d]{%s}" t.e_table t.e_priority (String.concat ";" parts)
+
+let equal_key a b = String.equal (match_key a) (match_key b)
+
+let equal_invocation a b =
+  String.equal a.ai_name b.ai_name
+  && List.length a.ai_args = List.length b.ai_args
+  && List.for_all2 Bitvec.equal a.ai_args b.ai_args
+
+let equal_action a b =
+  match (a, b) with
+  | Single x, Single y -> equal_invocation x y
+  | Weighted xs, Weighted ys ->
+      List.length xs = List.length ys
+      && List.for_all2
+           (fun (x, wx) (y, wy) -> wx = wy && equal_invocation x y)
+           xs ys
+  | Single _, Weighted _ | Weighted _, Single _ -> false
+
+let equal a b = equal_key a b && equal_action a.e_action b.e_action
+
+let pp_match_value fmt mv = Format.pp_print_string fmt (match_value_to_string mv)
+
+let pp_invocation fmt ai =
+  Format.fprintf fmt "%s(%s)" ai.ai_name
+    (String.concat ", " (List.map Bitvec.to_hex_string ai.ai_args))
+
+let pp fmt t =
+  Format.fprintf fmt "@[<h>%s" t.e_table;
+  if t.e_priority <> 0 then Format.fprintf fmt " prio=%d" t.e_priority;
+  List.iter
+    (fun fm -> Format.fprintf fmt " %s=%a" fm.fm_field pp_match_value fm.fm_value)
+    t.e_matches;
+  Format.fprintf fmt " => ";
+  (match t.e_action with
+  | Single ai -> pp_invocation fmt ai
+  | Weighted ais ->
+      Format.fprintf fmt "{";
+      List.iter (fun (ai, w) -> Format.fprintf fmt " %a*%d" pp_invocation ai w) ais;
+      Format.fprintf fmt " }");
+  Format.fprintf fmt "@]"

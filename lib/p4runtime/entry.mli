@@ -1,0 +1,53 @@
+(** P4Runtime table entries — the payload of control-plane Write requests
+    (Figure 3 of the paper shows these in human-readable form). *)
+
+module Bitvec = Switchv_bitvec.Bitvec
+module Prefix = Switchv_bitvec.Prefix
+module Ternary = Switchv_bitvec.Ternary
+
+type match_value =
+  | M_exact of Bitvec.t
+  | M_lpm of Prefix.t
+  | M_ternary of Ternary.t
+  | M_optional of Bitvec.t option
+      (** [None] encodes an omitted optional match (wildcard). Omitted
+          ternary matches are encoded as a present wildcard or simply left
+          out of [matches]. *)
+
+type field_match = { fm_field : string; fm_value : match_value }
+
+type action_invocation = { ai_name : string; ai_args : Bitvec.t list }
+
+type action_choice =
+  | Single of action_invocation
+  | Weighted of (action_invocation * int) list
+      (** One-shot action selector: weighted action set (WCMP, §4.2). *)
+
+type t = {
+  e_table : string;
+  e_matches : field_match list;
+  e_action : action_choice;
+  e_priority : int;
+      (** Strictly positive for tables with ternary/optional matches
+          (higher wins); must be 0 for purely exact/LPM tables. *)
+}
+
+val make :
+  ?priority:int -> table:string -> matches:field_match list -> action_choice -> t
+
+val find_match : t -> string -> match_value option
+
+val match_key : t -> string
+(** Canonical string for the entry's identity — table, matches, priority —
+    as used for duplicate detection. Insensitive to match order, blind to
+    the action (per P4Runtime, two entries with the same key are the "same
+    entry" even with different actions). *)
+
+val equal_key : t -> t -> bool
+(** Same identity (table, matches, priority). *)
+
+val equal : t -> t -> bool
+(** Full structural equality including action and args. *)
+
+val pp : Format.formatter -> t -> unit
+val pp_match_value : Format.formatter -> match_value -> unit

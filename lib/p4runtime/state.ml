@@ -1,0 +1,174 @@
+module Bitvec = Switchv_bitvec.Bitvec
+module P4info = Switchv_p4ir.P4info
+
+(* Per-table association from match key to entry, plus a sequence number to
+   preserve insertion order. *)
+type slot = { entry : Entry.t; seq : int }
+
+type t = {
+  tables : (string, (string, slot) Hashtbl.t) Hashtbl.t;
+  mutable next_seq : int;
+}
+
+let create () = { tables = Hashtbl.create 16; next_seq = 0 }
+
+let table_tbl t name =
+  match Hashtbl.find_opt t.tables name with
+  | Some tbl -> tbl
+  | None ->
+      let tbl = Hashtbl.create 64 in
+      Hashtbl.add t.tables name tbl;
+      tbl
+
+let copy t =
+  let fresh = { tables = Hashtbl.create 16; next_seq = t.next_seq } in
+  Hashtbl.iter (fun name tbl -> Hashtbl.add fresh.tables name (Hashtbl.copy tbl)) t.tables;
+  fresh
+
+let clear t =
+  Hashtbl.reset t.tables;
+  t.next_seq <- 0
+
+let insert t entry =
+  let tbl = table_tbl t entry.Entry.e_table in
+  let key = Entry.match_key entry in
+  if Hashtbl.mem tbl key then
+    Error (Status.makef Status.Already_exists "entry already exists: %s" key)
+  else begin
+    Hashtbl.add tbl key { entry; seq = t.next_seq };
+    t.next_seq <- t.next_seq + 1;
+    Ok ()
+  end
+
+let modify t entry =
+  let tbl = table_tbl t entry.Entry.e_table in
+  let key = Entry.match_key entry in
+  match Hashtbl.find_opt tbl key with
+  | None -> Error (Status.makef Status.Not_found "no such entry: %s" key)
+  | Some slot ->
+      Hashtbl.replace tbl key { slot with entry };
+      Ok ()
+
+let delete t entry =
+  let tbl = table_tbl t entry.Entry.e_table in
+  let key = Entry.match_key entry in
+  if Hashtbl.mem tbl key then begin
+    Hashtbl.remove tbl key;
+    Ok ()
+  end
+  else Error (Status.makef Status.Not_found "no such entry: %s" key)
+
+let find t entry =
+  let tbl = table_tbl t entry.Entry.e_table in
+  Hashtbl.find_opt tbl (Entry.match_key entry) |> Option.map (fun s -> s.entry)
+
+let entries_of t name =
+  match Hashtbl.find_opt t.tables name with
+  | None -> []
+  | Some tbl ->
+      Hashtbl.fold (fun _ slot acc -> slot :: acc) tbl []
+      |> List.sort (fun a b -> Int.compare a.seq b.seq)
+      |> List.map (fun s -> s.entry)
+
+let all t =
+  Hashtbl.fold
+    (fun _ tbl acc -> Hashtbl.fold (fun _ slot acc -> slot :: acc) tbl acc)
+    t.tables []
+  |> List.sort (fun a b -> Int.compare a.seq b.seq)
+  |> List.map (fun s -> s.entry)
+
+let count t name =
+  match Hashtbl.find_opt t.tables name with None -> 0 | Some tbl -> Hashtbl.length tbl
+
+let total t = Hashtbl.fold (fun _ tbl acc -> acc + Hashtbl.length tbl) t.tables 0
+
+let entry_has_key_value (e : Entry.t) ~key value =
+  match Entry.find_match e key with
+  | Some (Entry.M_exact v) | Some (Entry.M_optional (Some v)) -> Bitvec.equal v value
+  | _ -> false
+
+let exists_value t ~table ~key value =
+  List.exists (fun e -> entry_has_key_value e ~key value) (entries_of t table)
+
+let reference_index t info =
+  let tbl = Hashtbl.create 512 in
+  List.iter
+    (fun e ->
+      List.iter
+        (fun (r : Validate.reference) ->
+          Hashtbl.replace tbl
+            (r.ref_table ^ "/" ^ r.ref_key ^ "/" ^ Bitvec.to_hex_string r.ref_value)
+            ())
+        (Validate.references info e))
+    (all t);
+  fun ~table ~key value ->
+    Hashtbl.mem tbl (table ^ "/" ^ key ^ "/" ^ Bitvec.to_hex_string value)
+
+let is_referenced_by index (entry : Entry.t) =
+  List.exists
+    (fun (fm : Entry.field_match) ->
+      match fm.fm_value with
+      | Entry.M_exact v | Entry.M_optional (Some v) ->
+          index ~table:entry.e_table ~key:fm.fm_field v
+      | _ -> false)
+    entry.e_matches
+
+let is_referenced t info (entry : Entry.t) =
+  (* The values under which this entry can be referenced: its exact match
+     values keyed by name, in its own table. *)
+  let candidate_targets =
+    List.filter_map
+      (fun (fm : Entry.field_match) ->
+        match fm.fm_value with
+        | Entry.M_exact v | Entry.M_optional (Some v) -> Some (fm.fm_field, v)
+        | _ -> None)
+      entry.e_matches
+  in
+  candidate_targets <> []
+  && List.exists
+       (fun other ->
+         (not (Entry.equal_key other entry))
+         && List.exists
+              (fun (r : Validate.reference) ->
+                String.equal r.ref_table entry.e_table
+                && List.exists
+                     (fun (k, v) -> String.equal k r.ref_key && Bitvec.equal v r.ref_value)
+                     candidate_targets)
+              (Validate.references info other))
+       (all t)
+
+let equal a b =
+  let keyset t =
+    all t
+    |> List.map (fun e -> (Entry.match_key e, e))
+    |> List.sort (fun (k1, _) (k2, _) -> String.compare k1 k2)
+  in
+  let ka = keyset a and kb = keyset b in
+  List.length ka = List.length kb
+  && List.for_all2
+       (fun (k1, e1) (k2, e2) -> String.equal k1 k2 && Entry.equal e1 e2)
+       ka kb
+
+let diff a b =
+  let index t =
+    let tbl = Hashtbl.create 64 in
+    List.iter (fun e -> Hashtbl.replace tbl (Entry.match_key e) e) (all t);
+    tbl
+  in
+  let ia = index a and ib = index b in
+  let out = ref [] in
+  Hashtbl.iter
+    (fun k e ->
+      match Hashtbl.find_opt ib k with
+      | None -> out := Format.asprintf "only in first: %a" Entry.pp e :: !out
+      | Some e' ->
+          if not (Entry.equal e e') then
+            out :=
+              Format.asprintf "differs: %a vs %a" Entry.pp e Entry.pp e' :: !out)
+    ia;
+  Hashtbl.iter
+    (fun k e ->
+      if not (Hashtbl.mem ia k) then
+        out := Format.asprintf "only in second: %a" Entry.pp e :: !out)
+    ib;
+  List.sort String.compare !out

@@ -1,0 +1,59 @@
+(** Installed-entry state: the forwarding state of a switch (or of the
+    oracle's mirror of it). Entries are identified by their match key
+    (table, field matches, priority); insertion order is preserved per
+    table, which downstream matching uses as a deterministic tie-breaker. *)
+
+module Bitvec = Switchv_bitvec.Bitvec
+module P4info = Switchv_p4ir.P4info
+
+type t
+
+val create : unit -> t
+val copy : t -> t
+val clear : t -> unit
+
+val insert : t -> Entry.t -> (unit, Status.t) result
+(** [Already_exists] if an entry with the same match key is installed. *)
+
+val modify : t -> Entry.t -> (unit, Status.t) result
+(** Replace the action of the installed entry with the same match key;
+    [Not_found] if absent. *)
+
+val delete : t -> Entry.t -> (unit, Status.t) result
+(** Remove by match key; [Not_found] if absent. *)
+
+val find : t -> Entry.t -> Entry.t option
+(** Installed entry with the same match key. *)
+
+val entries_of : t -> string -> Entry.t list
+(** Entries of a table, in insertion order. *)
+
+val all : t -> Entry.t list
+val count : t -> string -> int
+val total : t -> int
+
+val exists_value : t -> table:string -> key:string -> Bitvec.t -> bool
+(** Does some installed entry of [table] match exactly [value] on [key]?
+    (The [@refers_to] existence check.) *)
+
+val is_referenced : t -> P4info.t -> Entry.t -> bool
+(** Is [entry] the target of a [@refers_to] reference from any other
+    installed entry? Used to refuse deletions that would dangle. *)
+
+val reference_index : t -> P4info.t -> table:string -> key:string -> Bitvec.t -> bool
+(** Precompute the set of referenced (table, key, value) targets and return
+    a membership test — an O(1)-per-query equivalent of the scan behind
+    {!is_referenced}, for callers that test many entries against one state
+    snapshot (fuzzer delete selection, oracle batch judgement). *)
+
+val is_referenced_by :
+  (table:string -> key:string -> Bitvec.t -> bool) -> Entry.t -> bool
+(** [is_referenced_by index entry]: does [entry] provide any value the
+    index reports as referenced? *)
+
+val equal : t -> t -> bool
+(** Same set of installed entries (order-insensitive), with equal
+    actions. *)
+
+val diff : t -> t -> string list
+(** Human-readable differences, for incident reports. *)

@@ -1,0 +1,220 @@
+module Bitvec = Switchv_bitvec.Bitvec
+module Prefix = Switchv_bitvec.Prefix
+module Ternary = Switchv_bitvec.Ternary
+module Ast = Switchv_p4ir.Ast
+module P4info = Switchv_p4ir.P4info
+module Constraint_lang = Switchv_p4constraints.Constraint_lang
+
+let ( let* ) = Result.bind
+
+let err code fmt = Printf.ksprintf (fun m -> Error (Status.make code m)) fmt
+
+let check_invocation (ti : P4info.table) (ai : Entry.action_invocation) =
+  match P4info.find_action ti ai.Entry.ai_name with
+  | None ->
+      err Status.Invalid_argument "table %s does not permit action %s" ti.ti_name
+        ai.Entry.ai_name
+  | Some ar ->
+      let expected = List.length ar.ar_params in
+      let got = List.length ai.Entry.ai_args in
+      if expected <> got then
+        err Status.Invalid_argument "action %s expects %d args, got %d" ai.Entry.ai_name
+          expected got
+      else begin
+        let bad =
+          List.find_opt
+            (fun ((p : Ast.param), arg) -> Bitvec.width arg <> p.p_width)
+            (List.combine ar.ar_params ai.Entry.ai_args)
+        in
+        match bad with
+        | Some (p, arg) ->
+            err Status.Invalid_argument "action %s arg %s has width %d, expected %d"
+              ai.Entry.ai_name p.p_name (Bitvec.width arg) p.p_width
+        | None -> Ok ()
+      end
+
+let check_match (ti : P4info.table) (fm : Entry.field_match) =
+  match P4info.find_match_field ti fm.Entry.fm_field with
+  | None ->
+      err Status.Invalid_argument "table %s has no match field %s" ti.ti_name
+        fm.Entry.fm_field
+  | Some mf -> (
+      let w_err got =
+        err Status.Invalid_argument "match field %s has width %d, expected %d"
+          fm.Entry.fm_field got mf.mf_width
+      in
+      match (mf.mf_kind, fm.Entry.fm_value) with
+      | Ast.Exact, Entry.M_exact v ->
+          if Bitvec.width v <> mf.mf_width then w_err (Bitvec.width v) else Ok ()
+      | Ast.Lpm, Entry.M_lpm p ->
+          if Prefix.width p <> mf.mf_width then w_err (Prefix.width p)
+          else if Prefix.len p = 0 then
+            err Status.Invalid_argument
+              "match field %s: zero-length LPM prefixes must be omitted"
+              fm.Entry.fm_field
+          else Ok ()
+      | Ast.Ternary, Entry.M_ternary t ->
+          if Ternary.width t <> mf.mf_width then w_err (Ternary.width t)
+          else if Ternary.is_wildcard t then
+            err Status.Invalid_argument
+              "match field %s: wildcard ternary matches must be omitted"
+              fm.Entry.fm_field
+          else Ok ()
+      | Ast.Optional, Entry.M_optional (Some v) ->
+          if Bitvec.width v <> mf.mf_width then w_err (Bitvec.width v) else Ok ()
+      | Ast.Optional, Entry.M_optional None ->
+          err Status.Invalid_argument
+            "match field %s: unset optional matches must be omitted" fm.Entry.fm_field
+      | (Ast.Exact | Ast.Lpm | Ast.Ternary | Ast.Optional), _ ->
+          err Status.Invalid_argument "match field %s has the wrong match kind"
+            fm.Entry.fm_field)
+
+let syntactic info (e : Entry.t) =
+  match P4info.find_table info e.e_table with
+  | None -> err Status.Invalid_argument "unknown table %s" e.e_table
+  | Some ti ->
+      (* No duplicate field matches. *)
+      let* () =
+        let seen = Hashtbl.create 8 in
+        List.fold_left
+          (fun acc (fm : Entry.field_match) ->
+            let* () = acc in
+            if Hashtbl.mem seen fm.fm_field then
+              err Status.Invalid_argument "duplicate match on field %s" fm.fm_field
+            else begin
+              Hashtbl.add seen fm.fm_field ();
+              Ok ()
+            end)
+          (Ok ()) e.e_matches
+      in
+      (* Each present match is well-formed. *)
+      let* () =
+        List.fold_left
+          (fun acc fm ->
+            let* () = acc in
+            check_match ti fm)
+          (Ok ()) e.e_matches
+      in
+      (* All exact keys must be present. *)
+      let* () =
+        List.fold_left
+          (fun acc (mf : P4info.match_field) ->
+            let* () = acc in
+            if mf.mf_kind = Ast.Exact && Entry.find_match e mf.mf_name = None then
+              err Status.Invalid_argument "missing mandatory exact match field %s"
+                mf.mf_name
+            else Ok ())
+          (Ok ()) ti.ti_match_fields
+      in
+      (* Priority discipline. *)
+      let* () =
+        if P4info.requires_priority ti then
+          if e.e_priority <= 0 then
+            err Status.Invalid_argument "table %s requires a positive priority" ti.ti_name
+          else Ok ()
+        else if e.e_priority <> 0 then
+          err Status.Invalid_argument "table %s does not take a priority" ti.ti_name
+        else Ok ()
+      in
+      (* Action choice fits the table implementation. *)
+      (match (ti.ti_selector, e.e_action) with
+      | false, Entry.Single ai -> check_invocation ti ai
+      | true, Entry.Weighted ais ->
+          if ais = [] then
+            err Status.Invalid_argument "empty action set for selector table %s" ti.ti_name
+          else
+            List.fold_left
+              (fun acc (ai, w) ->
+                let* () = acc in
+                if w <= 0 then
+                  err Status.Invalid_argument
+                    "non-positive weight %d in action set for table %s" w ti.ti_name
+                else check_invocation ti ai)
+              (Ok ()) ais
+      | false, Entry.Weighted _ ->
+          err Status.Invalid_argument "table %s is not an action-selector table" ti.ti_name
+      | true, Entry.Single _ ->
+          err Status.Invalid_argument "table %s requires a one-shot action set" ti.ti_name)
+
+let lookup_of_entry (ti : P4info.table) (e : Entry.t) key =
+  match P4info.find_match_field ti key with
+  | None -> None
+  | Some mf -> (
+      match Entry.find_match e key with
+      | Some (Entry.M_exact v) -> Some (Constraint_lang.K_exact v)
+      | Some (Entry.M_lpm p) -> Some (Constraint_lang.K_lpm p)
+      | Some (Entry.M_ternary t) -> Some (Constraint_lang.K_ternary t)
+      | Some (Entry.M_optional v) -> Some (Constraint_lang.K_optional v)
+      | None -> (
+          (* Omitted keys act as wildcards of the declared kind. *)
+          match mf.mf_kind with
+          | Ast.Exact -> None
+          | Ast.Lpm -> Some (Constraint_lang.K_lpm (Prefix.any mf.mf_width))
+          | Ast.Ternary -> Some (Constraint_lang.K_ternary (Ternary.wildcard mf.mf_width))
+          | Ast.Optional -> Some (Constraint_lang.K_optional None)))
+
+let constraint_compliant (ti : P4info.table) (e : Entry.t) =
+  match ti.ti_restriction with
+  | None -> Ok true
+  | Some c -> Constraint_lang.eval c (lookup_of_entry ti e)
+
+let check_entry info e =
+  let* () = syntactic info e in
+  let ti = Option.get (P4info.find_table info e.Entry.e_table) in
+  match constraint_compliant ti e with
+  | Ok true -> Ok ()
+  | Ok false ->
+      err Status.Invalid_argument "entry violates @entry_restriction of table %s"
+        ti.ti_name
+  | Error msg ->
+      err Status.Invalid_argument "entry restriction evaluation failed: %s" msg
+
+type reference = { ref_table : string; ref_key : string; ref_value : Bitvec.t }
+
+let invocation_references (ar : P4info.action_ref) (ai : Entry.action_invocation) =
+  if List.length ar.ar_params <> List.length ai.ai_args then []
+  else
+    List.filter_map
+      (fun ((p : Ast.param), arg) ->
+        match p.p_refers_to with
+        | None -> None
+        | Some (tbl, key) -> Some { ref_table = tbl; ref_key = key; ref_value = arg })
+      (List.combine ar.ar_params ai.ai_args)
+
+let references info (e : Entry.t) =
+  match P4info.find_table info e.e_table with
+  | None -> []
+  | Some ti ->
+      let from_matches =
+        List.filter_map
+          (fun (fm : Entry.field_match) ->
+            match P4info.find_match_field ti fm.fm_field with
+            | Some { mf_refers_to = Some (tbl, key); _ } -> (
+                match fm.fm_value with
+                | Entry.M_exact v | Entry.M_optional (Some v) ->
+                    Some { ref_table = tbl; ref_key = key; ref_value = v }
+                | Entry.M_lpm _ | Entry.M_ternary _ | Entry.M_optional None -> None)
+            | _ -> None)
+          e.e_matches
+      in
+      let from_actions =
+        let of_invocation ai =
+          match P4info.find_action ti ai.Entry.ai_name with
+          | None -> []
+          | Some ar -> invocation_references ar ai
+        in
+        match e.e_action with
+        | Entry.Single ai -> of_invocation ai
+        | Entry.Weighted ais -> List.concat_map (fun (ai, _) -> of_invocation ai) ais
+      in
+      from_matches @ from_actions
+
+let check_references info e ~exists =
+  List.fold_left
+    (fun acc r ->
+      let* () = acc in
+      if exists ~table:r.ref_table ~key:r.ref_key r.ref_value then Ok ()
+      else
+        err Status.Failed_precondition "dangling reference: %s.%s = 0x%s does not exist"
+          r.ref_table r.ref_key (Bitvec.to_hex_string r.ref_value))
+    (Ok ()) (references info e)

@@ -1,0 +1,44 @@
+(** Entry validation against a P4Info schema.
+
+    Implements the paper's validity taxonomy (§4): an entry is
+    {e syntactically valid} if it conforms to the P4 program's format per
+    the P4Runtime specification, {e constraint compliant} if it satisfies
+    the table's [@entry_restriction], and its [@refers_to] references are a
+    {e state-dependent} requirement checked against the currently installed
+    entries. This module is shared by the simulated PINS P4Runtime server
+    (enforcement) and by SwitchV's oracle (judging) — bugs seeded into the
+    switch perturb the switch's use of it, never the oracle's. *)
+
+module Bitvec = Switchv_bitvec.Bitvec
+module P4info = Switchv_p4ir.P4info
+
+val syntactic : P4info.t -> Entry.t -> (unit, Status.t) result
+(** Table exists; every field match names a declared key with the declared
+    kind and width; no duplicate or wildcard-redundant matches; all exact
+    keys present; priority present exactly when the table has ternary or
+    optional keys; the action choice fits the table kind (single-action vs
+    one-shot selector), is permitted, and has well-formed arguments with
+    strictly positive selector weights. *)
+
+val constraint_compliant : P4info.table -> Entry.t -> (bool, string) result
+(** Evaluate the table's [@entry_restriction] (vacuously true when
+    absent). [Error] reports an evaluation failure (e.g. unknown key),
+    which can only happen for entries that are not syntactically valid. *)
+
+val check_entry : P4info.t -> Entry.t -> (unit, Status.t) result
+(** Syntactic validity plus constraint compliance — the state-independent
+    part of validity. *)
+
+type reference = { ref_table : string; ref_key : string; ref_value : Bitvec.t }
+
+val references : P4info.t -> Entry.t -> reference list
+(** All values this entry requires to exist elsewhere, from [@refers_to]
+    annotations on match fields and on action parameters. Returns [[]] for
+    entries that fail syntactic validation. *)
+
+val check_references :
+  P4info.t ->
+  Entry.t ->
+  exists:(table:string -> key:string -> Bitvec.t -> bool) ->
+  (unit, Status.t) result
+(** Verify referential integrity against the installed state. *)

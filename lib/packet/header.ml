@@ -1,0 +1,60 @@
+type field = { f_name : string; f_width : int }
+
+type t = { name : string; fields : field list }
+
+let make name fields =
+  if fields = [] then invalid_arg "Header.make: no fields";
+  { name; fields = List.map (fun (f_name, f_width) -> { f_name; f_width }) fields }
+
+let width t = List.fold_left (fun acc f -> acc + f.f_width) 0 t.fields
+
+let field_width t name =
+  match List.find_opt (fun f -> String.equal f.f_name name) t.fields with
+  | Some f -> f.f_width
+  | None -> raise Not_found
+
+let field_names t = List.map (fun f -> f.f_name) t.fields
+
+let has_field t name = List.exists (fun f -> String.equal f.f_name name) t.fields
+
+let ethernet =
+  make "ethernet" [ ("dst_addr", 48); ("src_addr", 48); ("ether_type", 16) ]
+
+let vlan =
+  make "vlan" [ ("pcp", 3); ("dei", 1); ("vlan_id", 12); ("ether_type", 16) ]
+
+let ipv4 =
+  make "ipv4"
+    [ ("version", 4); ("ihl", 4); ("dscp", 6); ("ecn", 2); ("total_len", 16);
+      ("identification", 16); ("flags", 3); ("frag_offset", 13); ("ttl", 8);
+      ("protocol", 8); ("header_checksum", 16); ("src_addr", 32); ("dst_addr", 32) ]
+
+let ipv6 =
+  make "ipv6"
+    [ ("version", 4); ("dscp", 6); ("ecn", 2); ("flow_label", 20);
+      ("payload_length", 16); ("next_header", 8); ("hop_limit", 8);
+      ("src_addr", 128); ("dst_addr", 128) ]
+
+let tcp =
+  make "tcp"
+    [ ("src_port", 16); ("dst_port", 16); ("seq_no", 32); ("ack_no", 32);
+      ("data_offset", 4); ("res", 4); ("flags", 8); ("window", 16);
+      ("checksum", 16); ("urgent_ptr", 16) ]
+
+let udp =
+  make "udp" [ ("src_port", 16); ("dst_port", 16); ("hdr_length", 16); ("checksum", 16) ]
+
+let icmp =
+  make "icmp" [ ("type", 8); ("code", 8); ("checksum", 16); ("rest_of_header", 32) ]
+
+let arp =
+  make "arp"
+    [ ("hw_type", 16); ("proto_type", 16); ("hw_addr_len", 8); ("proto_addr_len", 8);
+      ("opcode", 16); ("sender_hw", 48); ("sender_proto", 32); ("target_hw", 48);
+      ("target_proto", 32) ]
+
+let gre = make "gre" [ ("flags", 4); ("reserved0", 9); ("version", 3); ("protocol", 16) ]
+
+let standard = [ ethernet; vlan; ipv4; ipv6; tcp; udp; icmp; arp; gre ]
+
+let find_standard name = List.find_opt (fun t -> String.equal t.name name) standard

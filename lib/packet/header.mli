@@ -1,0 +1,56 @@
+(** Header layouts: named, ordered lists of fixed-width fields.
+
+    These are shared between the packet library (serialisation), the P4 IR
+    (header declarations), the interpreter (parsing), and p4-symbolic
+    (symbolic field variables), so that all components agree on field names
+    and widths. *)
+
+type field = { f_name : string; f_width : int }
+
+type t = { name : string; fields : field list }
+
+val make : string -> (string * int) list -> t
+
+val width : t -> int
+(** Total width in bits. *)
+
+val field_width : t -> string -> int
+(** Raises [Not_found] for an unknown field. *)
+
+val field_names : t -> string list
+val has_field : t -> string -> bool
+
+(** {1 Standard headers}
+
+    Field names follow SAI/P4 conventions used in the paper's Figure 2
+    (e.g. [ipv4.dst_addr]). *)
+
+(** [ethernet]: dst_addr:48 src_addr:48 ether_type:16.
+    [vlan]: pcp:3 dei:1 vlan_id:12 ether_type:16.
+    [ipv4]: version:4 ihl:4 dscp:6 ecn:2 total_len:16 identification:16
+    flags:3 frag_offset:13 ttl:8 protocol:8 header_checksum:16 src_addr:32
+    dst_addr:32.
+    [ipv6]: version:4 dscp:6 ecn:2 flow_label:20 payload_length:16
+    next_header:8 hop_limit:8 src_addr:128 dst_addr:128.
+    [tcp]: src_port:16 dst_port:16 seq_no:32 ack_no:32 data_offset:4 res:4
+    flags:8 window:16 checksum:16 urgent_ptr:16.
+    [udp]: src_port:16 dst_port:16 hdr_length:16 checksum:16.
+    [icmp]: type:8 code:8 checksum:16 rest_of_header:32.
+    [arp]: hw_type:16 proto_type:16 hw_addr_len:8 proto_addr_len:8 opcode:16
+    sender_hw:48 sender_proto:32 target_hw:48 target_proto:32.
+    [gre]: flags:4 reserved0:9 version:3 protocol:16. *)
+
+val ethernet : t
+val vlan : t
+val ipv4 : t
+val ipv6 : t
+val tcp : t
+val udp : t
+val icmp : t
+val arp : t
+val gre : t
+
+val standard : t list
+(** All of the above, for registry-style lookup. *)
+
+val find_standard : string -> t option

@@ -1,0 +1,415 @@
+module Ast = Switchv_p4ir.Ast
+module Bitvec = Switchv_bitvec.Bitvec
+module Header = Switchv_packet.Header
+module Constraint_lang = Switchv_p4constraints.Constraint_lang
+open Ast
+
+let restriction s =
+  match Constraint_lang.parse s with
+  | Ok c -> c
+  | Error msg -> invalid_arg (Printf.sprintf "bad entry restriction %S: %s" s msg)
+
+let metadata =
+  [ ("vrf_id", 16);
+    ("l3_admit", 1);
+    ("nexthop_id", 16);
+    ("wcmp_group_id", 16);
+    ("router_interface_id", 16);
+    ("neighbor_id", 16);
+    ("is_ipv4", 1);
+    ("is_ipv6", 1);
+    ("tunnel_id", 16);
+    ("tunnel_encap", 1) ]
+
+let c w n = E_const (Bitvec.of_int ~width:w n)
+
+let standard_parser =
+  { start = "start";
+    states =
+      [ { ps_name = "start";
+          ps_extract = Some "ethernet";
+          ps_next =
+            T_select
+              ( E_field (field "ethernet" "ether_type"),
+                [ (Bitvec.of_int ~width:16 0x0800, "parse_ipv4");
+                  (Bitvec.of_int ~width:16 0x86DD, "parse_ipv6");
+                  (Bitvec.of_int ~width:16 0x0806, "parse_arp") ],
+                "accept" ) };
+        { ps_name = "parse_ipv4";
+          ps_extract = Some "ipv4";
+          ps_next =
+            T_select
+              ( E_field (field "ipv4" "protocol"),
+                [ (Bitvec.of_int ~width:8 6, "parse_tcp");
+                  (Bitvec.of_int ~width:8 17, "parse_udp");
+                  (Bitvec.of_int ~width:8 1, "parse_icmp") ],
+                "accept" ) };
+        { ps_name = "parse_ipv6";
+          ps_extract = Some "ipv6";
+          ps_next =
+            T_select
+              ( E_field (field "ipv6" "next_header"),
+                [ (Bitvec.of_int ~width:8 6, "parse_tcp");
+                  (Bitvec.of_int ~width:8 17, "parse_udp");
+                  (Bitvec.of_int ~width:8 58, "parse_icmp") ],
+                "accept" ) };
+        { ps_name = "parse_arp"; ps_extract = Some "arp"; ps_next = T_accept };
+        { ps_name = "parse_tcp"; ps_extract = Some "tcp"; ps_next = T_accept };
+        { ps_name = "parse_udp"; ps_extract = Some "udp"; ps_next = T_accept };
+        { ps_name = "parse_icmp"; ps_extract = Some "icmp"; ps_next = T_accept } ] }
+
+(* Variant of the standard parser that also recognises GRE (IP proto 47),
+   for the roles that model tunnels. *)
+let parser_with_gre =
+  { standard_parser with
+    states =
+      List.map
+        (fun s ->
+          if String.equal s.ps_name "parse_ipv4" then
+            { s with
+              ps_next =
+                (match s.ps_next with
+                | T_select (e, cases, default) ->
+                    T_select (e, cases @ [ (Bitvec.of_int ~width:8 47, "parse_gre") ], default)
+                | t -> t) }
+          else s)
+        standard_parser.states
+      @ [ { ps_name = "parse_gre"; ps_extract = Some "gre"; ps_next = T_accept } ] }
+
+let standard_headers =
+  [ Header.ethernet; Header.ipv4; Header.ipv6; Header.arp; Header.tcp;
+    Header.udp; Header.icmp ]
+
+let headers_with_gre = standard_headers @ [ Header.gre ]
+
+(* --- actions -------------------------------------------------------------- *)
+
+let no_action = { a_name = "no_action"; a_params = []; a_body = [] }
+
+let drop =
+  { a_name = "drop"; a_params = []; a_body = [ S_assign (std "drop", c 1 1) ] }
+
+let trap =
+  { a_name = "acl_trap";
+    a_params = [];
+    a_body = [ S_assign (std "punt", c 1 1); S_assign (std "drop", c 1 1) ] }
+
+let acl_copy =
+  { a_name = "acl_copy"; a_params = []; a_body = [ S_assign (std "punt", c 1 1) ] }
+
+let set_vrf =
+  { a_name = "set_vrf";
+    a_params = [ param ~refers_to:("vrf_table", "vrf_id") "vrf_id" 16 ];
+    a_body = [ S_assign (meta "vrf_id", E_param "vrf_id") ] }
+
+let l3_admit_action =
+  { a_name = "l3_admit"; a_params = []; a_body = [ S_assign (meta "l3_admit", c 1 1) ] }
+
+let set_nexthop_id =
+  { a_name = "set_nexthop_id";
+    a_params = [ param ~refers_to:("nexthop_table", "nexthop_id") "nexthop_id" 16 ];
+    a_body = [ S_assign (meta "nexthop_id", E_param "nexthop_id") ] }
+
+let set_wcmp_group_id =
+  { a_name = "set_wcmp_group_id";
+    a_params =
+      [ param ~refers_to:("wcmp_group_table", "wcmp_group_id") "wcmp_group_id" 16 ];
+    a_body = [ S_assign (meta "wcmp_group_id", E_param "wcmp_group_id") ] }
+
+let set_ip_nexthop =
+  { a_name = "set_ip_nexthop";
+    a_params =
+      [ param
+          ~refers_to:("router_interface_table", "router_interface_id")
+          "router_interface_id" 16;
+        param ~refers_to:("neighbor_table", "neighbor_id") "neighbor_id" 16 ];
+    a_body =
+      [ S_assign (meta "router_interface_id", E_param "router_interface_id");
+        S_assign (meta "neighbor_id", E_param "neighbor_id") ] }
+
+let set_port_and_src_mac =
+  { a_name = "set_port_and_src_mac";
+    a_params = [ param "port" 16; param "src_mac" 48 ];
+    a_body =
+      [ S_assign (std "egress_port", E_param "port");
+        S_assign (field "ethernet" "src_addr", E_param "src_mac") ] }
+
+let set_dst_mac =
+  { a_name = "set_dst_mac";
+    a_params = [ param "dst_mac" 48 ];
+    a_body = [ S_assign (field "ethernet" "dst_addr", E_param "dst_mac") ] }
+
+let mirror =
+  { a_name = "acl_mirror";
+    a_params =
+      [ param
+          ~refers_to:("mirror_session_table", "mirror_session_id")
+          "mirror_session_id" 16 ];
+    a_body = [ S_assign (std "mirror_session", E_param "mirror_session_id") ] }
+
+let egress_set_src_mac =
+  { a_name = "egress_set_src_mac";
+    a_params = [ param "src_mac" 48 ];
+    a_body = [ S_assign (field "ethernet" "src_addr", E_param "src_mac") ] }
+
+let set_gre_encap =
+  { a_name = "set_gre_encap";
+    a_params = [ param "encap_dst" 32 ];
+    a_body =
+      [ S_set_valid ("gre", true);
+        S_assign (field "gre" "protocol", c 16 0x0800);
+        S_assign (field "ipv4" "dst_addr", E_param "encap_dst") ] }
+
+let gre_decap =
+  { a_name = "gre_decap"; a_params = []; a_body = [ S_set_valid ("gre", false) ] }
+
+let set_tunnel_id =
+  (* A tunnel nexthop: encapsulate per the tunnel object, then resolve the
+     underlay through a regular nexthop. *)
+  { a_name = "set_tunnel_id";
+    a_params =
+      [ param ~refers_to:("tunnel_table", "tunnel_id") "tunnel_id" 16;
+        param ~refers_to:("nexthop_table", "nexthop_id") "nexthop_id" 16 ];
+    a_body =
+      [ S_assign (meta "tunnel_id", E_param "tunnel_id");
+        S_assign (meta "tunnel_encap", c 1 1);
+        S_assign (meta "nexthop_id", E_param "nexthop_id") ] }
+
+let common_actions =
+  [ no_action; drop; trap; acl_copy; set_vrf; l3_admit_action; set_nexthop_id;
+    set_wcmp_group_id; set_ip_nexthop; set_port_and_src_mac; set_dst_mac; mirror;
+    egress_set_src_mac ]
+
+let tunnel_actions = [ set_gre_encap; gre_decap; set_tunnel_id ]
+
+(* --- tables --------------------------------------------------------------- *)
+
+let key ?refers_to ~kind k_name k_expr =
+  { k_name; k_expr; k_kind = kind; k_refers_to = refers_to }
+
+let table ?(selector = false) ?restriction:r ~id ~keys ~actions
+    ~default ~size t_name =
+  { t_name;
+    t_id = id;
+    t_keys = keys;
+    t_actions = actions;
+    t_default_action = default;
+    t_size = size;
+    t_entry_restriction = Option.map restriction r;
+    t_selector = selector }
+
+let vrf_table ~id =
+  table ~id "vrf_table"
+    ~keys:[ key ~kind:Exact "vrf_id" (E_field (meta "vrf_id")) ]
+    ~actions:[ "no_action" ]
+    ~default:("no_action", [])
+    ~size:64
+    ~restriction:"vrf_id != 0"
+
+let acl_pre_ingress_table ~id =
+  table ~id "acl_pre_ingress_table"
+    ~keys:
+      [ key ~kind:Ternary "is_ipv4" (E_field (meta "is_ipv4"));
+        key ~kind:Ternary "is_ipv6" (E_field (meta "is_ipv6"));
+        key ~kind:Ternary "src_mac" (E_field (field "ethernet" "src_addr"));
+        key ~kind:Ternary "dst_ip" (E_field (field "ipv4" "dst_addr"));
+        key ~kind:Ternary "in_port" (E_field (std "ingress_port")) ]
+    ~actions:[ "set_vrf"; "no_action" ]
+    ~default:("no_action", [])
+    ~size:128
+    ~restriction:"!(is_ipv4 == 1 && is_ipv6 == 1) && (dst_ip::mask == 0 || is_ipv4 == 1)"
+
+let l3_admit_table ~id =
+  table ~id "l3_admit_table"
+    ~keys:
+      [ key ~kind:Ternary "dst_mac" (E_field (field "ethernet" "dst_addr"));
+        key ~kind:Ternary "in_port" (E_field (std "ingress_port")) ]
+    ~actions:[ "l3_admit"; "no_action" ]
+    ~default:("no_action", [])
+    ~size:64
+
+let ipv4_table ?(extra_actions = []) ~id () =
+  table ~id "ipv4_table"
+    ~keys:
+      [ key ~kind:Exact
+          ~refers_to:("vrf_table", "vrf_id")
+          "vrf_id" (E_field (meta "vrf_id"));
+        key ~kind:Lpm "ipv4_dst" (E_field (field "ipv4" "dst_addr")) ]
+    ~actions:([ "drop"; "set_nexthop_id"; "set_wcmp_group_id" ] @ extra_actions)
+    ~default:("drop", [])
+    ~size:1024
+
+let ipv6_table ?(extra_actions = []) ~id () =
+  table ~id "ipv6_table"
+    ~keys:
+      [ key ~kind:Exact
+          ~refers_to:("vrf_table", "vrf_id")
+          "vrf_id" (E_field (meta "vrf_id"));
+        key ~kind:Lpm "ipv6_dst" (E_field (field "ipv6" "dst_addr")) ]
+    ~actions:([ "drop"; "set_nexthop_id"; "set_wcmp_group_id" ] @ extra_actions)
+    ~default:("drop", [])
+    ~size:512
+
+let wcmp_group_table ~id =
+  table ~id "wcmp_group_table" ~selector:true
+    ~keys:[ key ~kind:Exact "wcmp_group_id" (E_field (meta "wcmp_group_id")) ]
+    ~actions:[ "set_nexthop_id" ]
+    ~default:("set_nexthop_id", [ Bitvec.zero 16 ])
+    ~size:128
+
+let nexthop_table ~id =
+  table ~id "nexthop_table"
+    ~keys:[ key ~kind:Exact "nexthop_id" (E_field (meta "nexthop_id")) ]
+    ~actions:[ "set_ip_nexthop" ]
+    ~default:("set_ip_nexthop", [ Bitvec.zero 16; Bitvec.zero 16 ])
+    ~size:256
+    ~restriction:"nexthop_id != 0"
+
+let router_interface_table ~id =
+  table ~id "router_interface_table"
+    ~keys:
+      [ key ~kind:Exact "router_interface_id" (E_field (meta "router_interface_id")) ]
+    ~actions:[ "set_port_and_src_mac" ]
+    ~default:("set_port_and_src_mac", [ Bitvec.zero 16; Bitvec.zero 48 ])
+    ~size:64
+    ~restriction:"router_interface_id != 0"
+
+let neighbor_table ~id =
+  table ~id "neighbor_table"
+    ~keys:
+      [ key ~kind:Exact
+          ~refers_to:("router_interface_table", "router_interface_id")
+          "router_interface_id"
+          (E_field (meta "router_interface_id"));
+        key ~kind:Exact "neighbor_id" (E_field (meta "neighbor_id")) ]
+    ~actions:[ "set_dst_mac" ]
+    ~default:("set_dst_mac", [ Bitvec.zero 48 ])
+    ~size:256
+    ~restriction:"neighbor_id != 0"
+
+let mirror_session_table ~id =
+  table ~id "mirror_session_table"
+    ~keys:[ key ~kind:Exact "mirror_session_id" (E_field (meta "tunnel_id")) ]
+    (* The key expression is irrelevant: this logical table is never applied
+       in the pipeline (§3 "Mirror Sessions"); it exists to model the SAI
+       mirror-session resource on the control plane. *)
+    ~actions:[ "set_port_and_src_mac" ]
+    ~default:("set_port_and_src_mac", [ Bitvec.zero 16; Bitvec.zero 48 ])
+    ~size:4
+    ~restriction:"mirror_session_id != 0"
+
+let ingress_acl_keys_middleblock =
+  [ key ~kind:Ternary "is_ipv4" (E_field (meta "is_ipv4"));
+    key ~kind:Ternary "is_ipv6" (E_field (meta "is_ipv6"));
+    key ~kind:Ternary "ether_type" (E_field (field "ethernet" "ether_type"));
+    key ~kind:Ternary "dst_ip" (E_field (field "ipv4" "dst_addr"));
+    key ~kind:Ternary "ttl" (E_field (field "ipv4" "ttl"));
+    key ~kind:Ternary "dscp" (E_field (field "ipv4" "dscp")) ]
+
+let ingress_acl_keys_tor =
+  [ key ~kind:Ternary "is_ipv4" (E_field (meta "is_ipv4"));
+    key ~kind:Ternary "is_ipv6" (E_field (meta "is_ipv6"));
+    key ~kind:Ternary "l4_dst_port" (E_field (field "udp" "dst_port"));
+    key ~kind:Ternary "icmp_type" (E_field (field "icmp" "type"));
+    key ~kind:Ternary "dst_mac" (E_field (field "ethernet" "dst_addr")) ]
+
+let ingress_acl_keys_wan =
+  [ key ~kind:Ternary "is_ipv4" (E_field (meta "is_ipv4"));
+    key ~kind:Ternary "is_ipv6" (E_field (meta "is_ipv6"));
+    key ~kind:Ternary "dscp" (E_field (field "ipv4" "dscp"));
+    key ~kind:Ternary "src_ip" (E_field (field "ipv4" "src_addr"));
+    key ~kind:Ternary "dst_ip" (E_field (field "ipv4" "dst_addr"));
+    key ~kind:Ternary "in_port" (E_field (std "ingress_port")) ]
+
+let acl_ingress_table ?(name = "acl_ingress_table") ~id ~keys ~restriction:r () =
+  table ~id name ~keys
+    ~actions:[ "drop"; "acl_trap"; "acl_copy"; "acl_mirror"; "no_action" ]
+    ~default:("no_action", [])
+    ~size:128
+    ~restriction:r
+
+let acl_egress_table ~id =
+  table ~id "acl_egress_table"
+    ~keys:
+      [ key ~kind:Ternary "ether_type" (E_field (field "ethernet" "ether_type"));
+        key ~kind:Ternary "out_port" (E_field (std "egress_port")) ]
+    ~actions:[ "drop"; "no_action" ]
+    ~default:("no_action", [])
+    ~size:64
+
+let egress_router_interface_table ~id =
+  table ~id "egress_router_interface_table"
+    ~keys:
+      [ key ~kind:Exact
+          ~refers_to:("router_interface_table", "router_interface_id")
+          "router_interface_id"
+          (E_field (meta "router_interface_id")) ]
+    ~actions:[ "egress_set_src_mac"; "no_action" ]
+    ~default:("no_action", [])
+    ~size:64
+
+let tunnel_table ~id =
+  table ~id "tunnel_table"
+    ~keys:[ key ~kind:Exact "tunnel_id" (E_field (meta "tunnel_id")) ]
+    ~actions:[ "set_gre_encap" ]
+    ~default:("set_gre_encap", [ Bitvec.zero 32 ])
+    ~size:32
+    ~restriction:"tunnel_id != 0"
+
+let decap_table ~id =
+  table ~id "decap_table"
+    ~keys:
+      [ key ~kind:Ternary "dst_ip" (E_field (field "ipv4" "dst_addr")) ]
+    ~actions:[ "gre_decap"; "no_action" ]
+    ~default:("no_action", [])
+    ~size:32
+
+(* --- pipeline fragments ---------------------------------------------------- *)
+
+let classify_ip =
+  seq
+    [ C_if (B_is_valid "ipv4", C_stmt (S_assign (meta "is_ipv4", c 1 1)), C_nop);
+      C_if (B_is_valid "ipv6", C_stmt (S_assign (meta "is_ipv6", c 1 1)), C_nop) ]
+
+let ttl_guard =
+  (* The fixed-function trap: TTL 0 or 1 punts to CPU and drops; otherwise
+     the TTL is decremented on L3-forwarded packets. *)
+  C_if
+    ( B_and
+        ( B_is_valid "ipv4",
+          B_and
+            ( B_eq (E_field (meta "l3_admit"), c 1 1),
+              B_ule (E_field (field "ipv4" "ttl"), c 8 1) ) ),
+      seq
+        [ C_stmt (S_assign (std "punt", c 1 1));
+          C_stmt (S_assign (std "drop", c 1 1)) ],
+      C_if
+        ( B_and (B_is_valid "ipv4", B_eq (E_field (meta "l3_admit"), c 1 1)),
+          C_stmt
+            (S_assign
+               ( field "ipv4" "ttl",
+                 E_sub (E_field (field "ipv4" "ttl"), c 8 1) )),
+          C_nop ) )
+
+let routing_core =
+  seq
+    [ C_table "l3_admit_table";
+      C_if
+        ( B_eq (E_field (meta "l3_admit"), c 1 1),
+          seq
+            [ C_if
+                ( B_is_valid "ipv4",
+                  C_table "ipv4_table",
+                  C_if (B_is_valid "ipv6", C_table "ipv6_table", C_nop) );
+              C_if
+                ( B_ne (E_field (meta "wcmp_group_id"), c 16 0),
+                  C_table "wcmp_group_table",
+                  C_nop );
+              C_if
+                ( B_ne (E_field (meta "nexthop_id"), c 16 0),
+                  seq
+                    [ C_table "nexthop_table";
+                      C_table "router_interface_table";
+                      C_table "neighbor_table" ],
+                  C_nop ) ],
+          C_nop ) ]

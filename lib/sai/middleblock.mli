@@ -1,0 +1,8 @@
+(** The middleblock role instantiation — the paper's "Inst1" production
+    model (Table 3: 798 entries): 13 SAI-style tables covering VRF
+    allocation, L3 admission, IPv4/IPv6 routing, WCMP, nexthop/RIF/
+    neighbor resolution, role-specific ingress ACL, egress ACL, mirror
+    sessions, and the egress RIF replica. *)
+
+val program : Switchv_p4ir.Ast.program
+val info : Switchv_p4ir.P4info.t

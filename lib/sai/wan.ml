@@ -1,0 +1,58 @@
+(** The WAN role instantiation ("Inst2"): the larger production model of
+    the paper's Table 3 (1314 entries). Beyond the middleblock blueprint it
+    adds GRE tunnel encapsulation (routes may resolve to tunnels) and a
+    second, QoS-oriented ingress ACL stage. *)
+
+module Ast = Switchv_p4ir.Ast
+module P4info = Switchv_p4ir.P4info
+module C = Components
+open Ast
+
+let program =
+  { p_name = "sai_wan";
+    p_headers = C.headers_with_gre;
+    p_metadata = C.metadata;
+    p_parser = C.parser_with_gre;
+    p_actions = C.common_actions @ C.tunnel_actions;
+    p_tables =
+      [ C.acl_pre_ingress_table ~id:1;
+        C.vrf_table ~id:2;
+        C.l3_admit_table ~id:3;
+        C.ipv4_table ~id:4 ~extra_actions:[ "set_tunnel_id" ] ();
+        C.ipv6_table ~id:5 ~extra_actions:[ "set_tunnel_id" ] ();
+        C.wcmp_group_table ~id:6;
+        C.nexthop_table ~id:7;
+        C.router_interface_table ~id:8;
+        C.neighbor_table ~id:9;
+        C.acl_ingress_table ~id:10 ~keys:C.ingress_acl_keys_wan
+          ~restriction:"!(is_ipv4 == 1 && is_ipv6 == 1) && dscp < 64" ();
+        C.acl_ingress_table ~name:"acl_ingress_qos_table" ~id:14
+          ~keys:
+            [ C.ingress_acl_keys_wan |> List.hd;
+              { k_name = "dscp";
+                k_expr = E_field (field "ipv4" "dscp");
+                k_kind = Ternary;
+                k_refers_to = None } ]
+          ~restriction:"dscp < 64" ();
+        C.acl_egress_table ~id:11;
+        C.mirror_session_table ~id:12;
+        C.egress_router_interface_table ~id:13;
+        C.tunnel_table ~id:15 ];
+    p_ingress =
+      seq
+        [ C.classify_ip;
+          C_table "acl_pre_ingress_table";
+          C_table "vrf_table";
+          C.routing_core;
+          C_if
+            ( B_eq (E_field (meta "tunnel_encap"), E_const (Switchv_bitvec.Bitvec.of_int ~width:1 1)),
+              C_table "tunnel_table",
+              C_nop );
+          C.ttl_guard;
+          C_table "acl_ingress_table";
+          C_table "acl_ingress_qos_table" ];
+    p_egress = seq [ C_table "egress_router_interface_table"; C_table "acl_egress_table" ] }
+
+let info = P4info.of_program program
+
+let () = Switchv_p4ir.Typecheck.check_exn program

@@ -1,0 +1,6 @@
+(** The WAN role instantiation — the paper's "Inst2" production model
+    (Table 3: 1314 entries): the middleblock blueprint plus GRE tunnel
+    encapsulation and a second, QoS-oriented ingress ACL stage. *)
+
+val program : Switchv_p4ir.Ast.program
+val info : Switchv_p4ir.P4info.t

@@ -1,0 +1,487 @@
+(* A MiniSat-style CDCL solver. Literal encoding: literal = 2*var for the
+   positive phase, 2*var+1 for the negative phase. *)
+
+module Lit = struct
+  type t = int
+
+  let make v sign = (v lsl 1) lor (if sign then 0 else 1)
+  let var l = l lsr 1
+  let sign l = l land 1 = 0
+  let neg l = l lxor 1
+  let pp fmt l = Format.fprintf fmt "%s%d" (if sign l then "" else "-") (var l)
+end
+
+(* Growable int/float vectors; OCaml arrays with doubling. *)
+module Vec = struct
+  type 'a t = { mutable data : 'a array; mutable size : int; dummy : 'a }
+
+  let create dummy = { data = Array.make 16 dummy; size = 0; dummy }
+
+  let push t x =
+    if t.size = Array.length t.data then begin
+      let data = Array.make (2 * Array.length t.data) t.dummy in
+      Array.blit t.data 0 data 0 t.size;
+      t.data <- data
+    end;
+    t.data.(t.size) <- x;
+    t.size <- t.size + 1
+
+  let get t i = t.data.(i)
+  let set t i x = t.data.(i) <- x
+  let size t = t.size
+  let shrink t n = t.size <- n
+end
+
+type clause = { lits : int array; learned : bool; mutable activity : float }
+
+(* Variable order: binary max-heap on activity, with position index. *)
+module Heap = struct
+  type t = {
+    mutable heap : int array;       (* heap of variable indices *)
+    mutable size : int;
+    mutable pos : int array;        (* pos.(v) = index in heap, or -1 *)
+  }
+
+  let create () = { heap = Array.make 16 0; size = 0; pos = Array.make 16 (-1) }
+
+  let ensure_var t v =
+    if v >= Array.length t.pos then begin
+      let pos = Array.make (max (2 * Array.length t.pos) (v + 1)) (-1) in
+      Array.blit t.pos 0 pos 0 (Array.length t.pos);
+      t.pos <- pos
+    end
+
+  let in_heap t v = v < Array.length t.pos && t.pos.(v) >= 0
+
+  let swap t i j =
+    let vi = t.heap.(i) and vj = t.heap.(j) in
+    t.heap.(i) <- vj; t.heap.(j) <- vi;
+    t.pos.(vj) <- i; t.pos.(vi) <- j
+
+  let rec up t act i =
+    if i > 0 then begin
+      let p = (i - 1) / 2 in
+      if act.(t.heap.(i)) > act.(t.heap.(p)) then begin
+        swap t i p; up t act p
+      end
+    end
+
+  let rec down t act i =
+    let l = (2 * i) + 1 and r = (2 * i) + 2 in
+    let best = ref i in
+    if l < t.size && act.(t.heap.(l)) > act.(t.heap.(!best)) then best := l;
+    if r < t.size && act.(t.heap.(r)) > act.(t.heap.(!best)) then best := r;
+    if !best <> i then begin swap t i !best; down t act !best end
+
+  let insert t act v =
+    ensure_var t v;
+    if not (in_heap t v) then begin
+      if t.size = Array.length t.heap then begin
+        let heap = Array.make (2 * Array.length t.heap) 0 in
+        Array.blit t.heap 0 heap 0 t.size;
+        t.heap <- heap
+      end;
+      t.heap.(t.size) <- v;
+      t.pos.(v) <- t.size;
+      t.size <- t.size + 1;
+      up t act t.pos.(v)
+    end
+
+  let decrease t act v = if in_heap t v then up t act t.pos.(v)
+
+  let pop_max t act =
+    let v = t.heap.(0) in
+    t.size <- t.size - 1;
+    t.pos.(v) <- -1;
+    if t.size > 0 then begin
+      let last = t.heap.(t.size) in
+      t.heap.(0) <- last;
+      t.pos.(last) <- 0;
+      down t act 0
+    end;
+    v
+
+  let is_empty t = t.size = 0
+end
+
+type t = {
+  mutable nvars : int;
+  mutable assigns : int array;      (* -1 unassigned / 0 false / 1 true *)
+  mutable level : int array;
+  mutable reason : clause option array;
+  mutable phase : bool array;       (* saved phase *)
+  mutable activity : float array;
+  mutable watches : clause Vec.t array;  (* indexed by literal *)
+  clauses : clause Vec.t;
+  trail : int Vec.t;                (* literal trail *)
+  trail_lim : int Vec.t;            (* decision level boundaries *)
+  mutable qhead : int;
+  order : Heap.t;
+  mutable var_inc : float;
+  mutable cla_inc : float;
+  mutable seen : bool array;
+  mutable ok : bool;                (* false once a top-level conflict found *)
+  (* statistics *)
+  mutable n_conflicts : int;
+  mutable n_decisions : int;
+  mutable n_propagations : int;
+  mutable n_restarts : int;
+  mutable n_learned : int;
+}
+
+let dummy_clause = { lits = [||]; learned = false; activity = 0.0 }
+
+let create () =
+  { nvars = 0;
+    assigns = Array.make 16 (-1);
+    level = Array.make 16 0;
+    reason = Array.make 16 None;
+    phase = Array.make 16 false;
+    activity = Array.make 16 0.0;
+    watches = Array.init 32 (fun _ -> Vec.create dummy_clause);
+    clauses = Vec.create dummy_clause;
+    trail = Vec.create 0;
+    trail_lim = Vec.create 0;
+    qhead = 0;
+    order = Heap.create ();
+    var_inc = 1.0;
+    cla_inc = 1.0;
+    seen = Array.make 16 false;
+    ok = true;
+    n_conflicts = 0;
+    n_decisions = 0;
+    n_propagations = 0;
+    n_restarts = 0;
+    n_learned = 0 }
+
+let num_vars t = t.nvars
+
+let new_var t =
+  let v = t.nvars in
+  t.nvars <- v + 1;
+  let n = Array.length t.assigns in
+  if v >= n then begin
+    let grow a fill =
+      let b = Array.make (2 * n) fill in
+      Array.blit a 0 b 0 n; b
+    in
+    t.assigns <- grow t.assigns (-1);
+    t.level <- grow t.level 0;
+    t.reason <- grow t.reason None;
+    t.phase <- grow t.phase false;
+    t.activity <- grow t.activity 0.0;
+    t.seen <- grow t.seen false;
+    let w = Array.init (4 * n) (fun _ -> Vec.create dummy_clause) in
+    Array.blit t.watches 0 w 0 (2 * n);
+    t.watches <- w
+  end;
+  Heap.insert t.order t.activity v;
+  v
+
+let lit_value t l =
+  let a = t.assigns.(Lit.var l) in
+  if a < 0 then -1
+  else if Lit.sign l then a
+  else 1 - a
+
+let decision_level t = Vec.size t.trail_lim
+
+let enqueue t l reason =
+  t.assigns.(Lit.var l) <- (if Lit.sign l then 1 else 0);
+  t.level.(Lit.var l) <- decision_level t;
+  t.reason.(Lit.var l) <- reason;
+  Vec.push t.trail l
+
+let var_bump t v =
+  t.activity.(v) <- t.activity.(v) +. t.var_inc;
+  if t.activity.(v) > 1e100 then begin
+    for i = 0 to t.nvars - 1 do
+      t.activity.(i) <- t.activity.(i) *. 1e-100
+    done;
+    t.var_inc <- t.var_inc *. 1e-100
+  end;
+  Heap.decrease t.order t.activity v
+
+let var_decay t = t.var_inc <- t.var_inc /. 0.95
+
+let watch t l c = Vec.push t.watches.(l) c
+
+let attach_clause t c =
+  (* Watch the first two literals. *)
+  watch t (Lit.neg c.lits.(0)) c;
+  watch t (Lit.neg c.lits.(1)) c
+
+let add_clause t lits =
+  if t.ok then begin
+    (* Simplify: drop duplicate/false literals, detect tautologies. Only
+       sound at level 0; callers add clauses before/between solves, where we
+       restart from level 0 anyway, but literal values at level > 0 must be
+       ignored. *)
+    let at_top = decision_level t = 0 in
+    let tbl = Hashtbl.create 8 in
+    let taut = ref false in
+    let lits =
+      List.filter
+        (fun l ->
+          if Hashtbl.mem tbl (Lit.neg l) then taut := true;
+          if Hashtbl.mem tbl l then false
+          else begin
+            Hashtbl.add tbl l ();
+            not (at_top && lit_value t l = 0)
+          end)
+        (lits :> int list)
+    in
+    if not !taut then begin
+      let already_sat = at_top && List.exists (fun l -> lit_value t l = 1) lits in
+      if not already_sat then
+        match lits with
+        | [] -> t.ok <- false
+        | [ l ] ->
+            if at_top then begin
+              match lit_value t l with
+              | 1 -> ()
+              | 0 -> t.ok <- false
+              | _ -> enqueue t l None
+            end
+            else begin
+              (* Shouldn't happen in our usage; store as a clause with a
+                 duplicated watch to stay safe. *)
+              let c = { lits = [| l; l |]; learned = false; activity = 0.0 } in
+              Vec.push t.clauses c;
+              attach_clause t c
+            end
+        | l1 :: l2 :: _ ->
+            let c = { lits = Array.of_list lits; learned = false; activity = 0.0 } in
+            ignore l1; ignore l2;
+            Vec.push t.clauses c;
+            attach_clause t c
+    end
+  end
+
+(* Propagate all enqueued facts. Returns the conflicting clause if any. *)
+let propagate t =
+  let conflict = ref None in
+  while !conflict = None && t.qhead < Vec.size t.trail do
+    let p = Vec.get t.trail t.qhead in
+    t.qhead <- t.qhead + 1;
+    t.n_propagations <- t.n_propagations + 1;
+    let ws = t.watches.(p) in
+    let n = Vec.size ws in
+    let j = ref 0 in
+    (let i = ref 0 in
+     while !i < n do
+       let c = Vec.get ws !i in
+       incr i;
+       if !conflict <> None then begin
+         (* Copy the remaining watchers unchanged. *)
+         Vec.set ws !j c;
+         incr j
+       end
+       else begin
+         (* Make sure the false literal is lits.(1). *)
+         let falsel = Lit.neg p in
+         if c.lits.(0) = falsel then begin
+           c.lits.(0) <- c.lits.(1);
+           c.lits.(1) <- falsel
+         end;
+         if lit_value t c.lits.(0) = 1 then begin
+           (* Clause already satisfied; keep watching. *)
+           Vec.set ws !j c;
+           incr j
+         end
+         else begin
+           (* Look for a new literal to watch. *)
+           let len = Array.length c.lits in
+           let rec find k =
+             if k >= len then None
+             else if lit_value t c.lits.(k) <> 0 then Some k
+             else find (k + 1)
+           in
+           match find 2 with
+           | Some k ->
+               c.lits.(1) <- c.lits.(k);
+               c.lits.(k) <- falsel;
+               watch t (Lit.neg c.lits.(1)) c
+           | None ->
+               (* Unit or conflicting. *)
+               Vec.set ws !j c;
+               incr j;
+               if lit_value t c.lits.(0) = 0 then conflict := Some c
+               else enqueue t c.lits.(0) (Some c)
+         end
+       end
+     done);
+    Vec.shrink ws !j
+  done;
+  !conflict
+
+(* First-UIP conflict analysis. Returns (learned clause lits, backjump level).
+   learned.(0) is the asserting literal. *)
+let analyze t confl =
+  let learnt = ref [] in
+  let seen = t.seen in
+  let path = ref 0 in
+  let p = ref (-1) in
+  let confl = ref (Some confl) in
+  let idx = ref (Vec.size t.trail - 1) in
+  let btlevel = ref 0 in
+  let continue = ref true in
+  while !continue do
+    (match !confl with
+    | None -> assert false
+    | Some c ->
+        if c.learned then c.activity <- c.activity +. t.cla_inc;
+        let start = if !p = -1 then 0 else 1 in
+        for k = start to Array.length c.lits - 1 do
+          let q = c.lits.(k) in
+          let v = Lit.var q in
+          if (not seen.(v)) && t.level.(v) > 0 then begin
+            var_bump t v;
+            seen.(v) <- true;
+            if t.level.(v) >= decision_level t then incr path
+            else begin
+              learnt := q :: !learnt;
+              if t.level.(v) > !btlevel then btlevel := t.level.(v)
+            end
+          end
+        done);
+    (* Select next literal to look at. *)
+    let rec next () =
+      let l = Vec.get t.trail !idx in
+      decr idx;
+      if seen.(Lit.var l) then l else next ()
+    in
+    let l = next () in
+    p := l;
+    confl := t.reason.(Lit.var l);
+    seen.(Lit.var l) <- false;
+    decr path;
+    if !path <= 0 then continue := false
+  done;
+  let learnt = Lit.neg !p :: !learnt in
+  (* Clear seen flags. *)
+  List.iter (fun l -> t.seen.(Lit.var l) <- false) learnt;
+  (Array.of_list learnt, !btlevel)
+
+let cancel_until t lvl =
+  if decision_level t > lvl then begin
+    let bound = Vec.get t.trail_lim lvl in
+    for i = Vec.size t.trail - 1 downto bound do
+      let l = Vec.get t.trail i in
+      let v = Lit.var l in
+      t.phase.(v) <- Lit.sign l;
+      t.assigns.(v) <- -1;
+      t.reason.(v) <- None;
+      Heap.insert t.order t.activity v
+    done;
+    Vec.shrink t.trail bound;
+    Vec.shrink t.trail_lim lvl;
+    t.qhead <- Vec.size t.trail
+  end
+
+let new_decision_level t = Vec.push t.trail_lim (Vec.size t.trail)
+
+let pick_branch_var t =
+  let rec go () =
+    if Heap.is_empty t.order then None
+    else begin
+      let v = Heap.pop_max t.order t.activity in
+      if t.assigns.(v) < 0 then Some v else go ()
+    end
+  in
+  go ()
+
+(* Luby sequence (1 1 2 1 1 2 4 ...): luby i with i >= 1. *)
+let rec luby i =
+  let k = ref 1 in
+  while (1 lsl !k) - 1 < i do incr k done;
+  if (1 lsl !k) - 1 = i then 1 lsl (!k - 1)
+  else luby (i - (1 lsl (!k - 1)) + 1)
+
+type result = Sat | Unsat
+
+exception Unsat_exn
+exception Restart
+
+let solve ?(assumptions = []) t =
+  if not t.ok then Unsat
+  else begin
+    cancel_until t 0;
+    let assumptions = Array.of_list (assumptions :> int list) in
+    try
+      (match propagate t with
+      | Some _ -> t.ok <- false; raise Unsat_exn
+      | None -> ());
+      let restart_n = ref 0 in
+      let rec search_forever () =
+        incr restart_n;
+        let budget = 100 * luby !restart_n in
+        let conflicts_here = ref 0 in
+        (try
+           while true do
+             match propagate t with
+             | Some confl ->
+                 t.n_conflicts <- t.n_conflicts + 1;
+                 incr conflicts_here;
+                 if decision_level t = 0 then begin
+                   t.ok <- false;
+                   raise Unsat_exn
+                 end;
+                 let learnt, btlevel = analyze t confl in
+                 cancel_until t btlevel;
+                 (if Array.length learnt = 1 then enqueue t learnt.(0) None
+                  else begin
+                    let c = { lits = learnt; learned = true; activity = t.cla_inc } in
+                    Vec.push t.clauses c;
+                    t.n_learned <- t.n_learned + 1;
+                    attach_clause t c;
+                    enqueue t learnt.(0) (Some c)
+                  end);
+                 var_decay t;
+                 if !conflicts_here >= budget then begin
+                   t.n_restarts <- t.n_restarts + 1;
+                   cancel_until t 0;
+                   raise Restart
+                 end
+             | None ->
+                 (* Decide next: assumptions first, then VSIDS. *)
+                 if decision_level t < Array.length assumptions then begin
+                   let p = assumptions.(decision_level t) in
+                   match lit_value t p with
+                   | 1 -> new_decision_level t
+                   | 0 -> raise Unsat_exn  (* conflicts with assumptions *)
+                   | _ ->
+                       t.n_decisions <- t.n_decisions + 1;
+                       new_decision_level t;
+                       enqueue t p None
+                 end
+                 else begin
+                   match pick_branch_var t with
+                   | None -> raise Exit (* all assigned: SAT *)
+                   | Some v ->
+                       t.n_decisions <- t.n_decisions + 1;
+                       new_decision_level t;
+                       enqueue t (Lit.make v t.phase.(v)) None
+                 end
+           done
+         with Restart -> ());
+        search_forever ()
+      in
+      (try search_forever () with Exit -> ());
+      Sat
+    with Unsat_exn ->
+      cancel_until t 0;
+      (* Distinguish global unsat from assumption-relative unsat: if [ok]
+         was cleared, the instance is globally unsat; otherwise only the
+         assumptions failed and the solver stays usable. *)
+      Unsat
+  end
+
+let value t v = if t.assigns.(v) >= 0 then t.assigns.(v) = 1 else t.phase.(v)
+
+let stats t =
+  [ ("conflicts", t.n_conflicts);
+    ("decisions", t.n_decisions);
+    ("propagations", t.n_propagations);
+    ("restarts", t.n_restarts);
+    ("learned", t.n_learned) ]

@@ -1,0 +1,48 @@
+(** CDCL SAT solver.
+
+    A MiniSat-style conflict-driven clause-learning solver with two-watched
+    literals, 1-UIP conflict analysis, VSIDS branching, phase saving, and
+    Luby restarts. It supports solving under unit {e assumptions}, which the
+    bitvector layer uses to pose many coverage queries against a single
+    clause database (one query per coverage goal, as in p4-symbolic).
+
+    Variables are dense non-negative integers allocated by [new_var].
+    Literals pair a variable with a sign. *)
+
+type t
+
+module Lit : sig
+  type t = private int
+
+  val make : int -> bool -> t
+  (** [make v sign]: positive literal of variable [v] when [sign]. *)
+
+  val var : t -> int
+  val sign : t -> bool
+  val neg : t -> t
+  val pp : Format.formatter -> t -> unit
+end
+
+val create : unit -> t
+
+val new_var : t -> int
+(** Allocate a fresh variable, returning its index. *)
+
+val num_vars : t -> int
+
+val add_clause : t -> Lit.t list -> unit
+(** Add a clause. Adding the empty clause (or clauses that are already
+    falsified at level 0) makes the instance unsatisfiable. *)
+
+type result = Sat | Unsat
+
+val solve : ?assumptions:Lit.t list -> t -> result
+(** Solve under the given assumption literals. The solver may be re-used:
+    further clauses can be added and [solve] called again. *)
+
+val value : t -> int -> bool
+(** Model value of a variable after a [Sat] answer. Unconstrained variables
+    report their saved phase (defaults to [false]). *)
+
+val stats : t -> (string * int) list
+(** Counters: conflicts, decisions, propagations, restarts, learned. *)

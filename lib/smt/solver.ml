@@ -1,0 +1,290 @@
+module Bitvec = Switchv_bitvec.Bitvec
+module Lit = Sat.Lit
+
+module Phys = Hashtbl.Make (struct
+  type t = Obj.t
+  let equal = ( == )
+  let hash = Hashtbl.hash
+end)
+
+type t = {
+  sat : Sat.t;
+  true_lit : Lit.t;
+  bv_vars : (string, Lit.t array) Hashtbl.t;
+  bool_vars : (string, Lit.t) Hashtbl.t;
+  bv_memo : Lit.t array Phys.t;
+  bool_memo : Lit.t Phys.t;
+  gate_memo : (string * int * int * int, Lit.t) Hashtbl.t;
+  mutable n_gates : int;
+}
+
+let create () =
+  let sat = Sat.create () in
+  let v0 = Sat.new_var sat in
+  let true_lit = Lit.make v0 true in
+  Sat.add_clause sat [ true_lit ];
+  { sat; true_lit;
+    bv_vars = Hashtbl.create 64;
+    bool_vars = Hashtbl.create 16;
+    bv_memo = Phys.create 1024;
+    bool_memo = Phys.create 1024;
+    gate_memo = Hashtbl.create 4096;
+    n_gates = 0 }
+
+let lit_true t = t.true_lit
+let lit_false t = Lit.neg t.true_lit
+let is_true t l = l = lit_true t
+let is_false t l = l = lit_false t
+let of_bool t b = if b then lit_true t else lit_false t
+
+let fresh t = Lit.make (Sat.new_var t.sat) true
+
+let gate t key mk =
+  match Hashtbl.find_opt t.gate_memo key with
+  | Some l -> l
+  | None ->
+      let l = mk () in
+      t.n_gates <- t.n_gates + 1;
+      Hashtbl.add t.gate_memo key l;
+      l
+
+let li l = (l : Lit.t :> int)
+
+let and_gate t a b =
+  if is_false t a || is_false t b then lit_false t
+  else if is_true t a then b
+  else if is_true t b then a
+  else if a = b then a
+  else if a = Lit.neg b then lit_false t
+  else begin
+    let x, y = if li a < li b then (a, b) else (b, a) in
+    gate t ("and", li x, li y, 0) (fun () ->
+        let o = fresh t in
+        Sat.add_clause t.sat [ Lit.neg o; x ];
+        Sat.add_clause t.sat [ Lit.neg o; y ];
+        Sat.add_clause t.sat [ o; Lit.neg x; Lit.neg y ];
+        o)
+  end
+
+let or_gate t a b = Lit.neg (and_gate t (Lit.neg a) (Lit.neg b))
+
+let xor_gate t a b =
+  if is_false t a then b
+  else if is_false t b then a
+  else if is_true t a then Lit.neg b
+  else if is_true t b then Lit.neg a
+  else if a = b then lit_false t
+  else if a = Lit.neg b then lit_true t
+  else begin
+    let x, y = if li a < li b then (a, b) else (b, a) in
+    gate t ("xor", li x, li y, 0) (fun () ->
+        let o = fresh t in
+        Sat.add_clause t.sat [ Lit.neg o; x; y ];
+        Sat.add_clause t.sat [ Lit.neg o; Lit.neg x; Lit.neg y ];
+        Sat.add_clause t.sat [ o; Lit.neg x; y ];
+        Sat.add_clause t.sat [ o; x; Lit.neg y ];
+        o)
+  end
+
+let xnor_gate t a b = Lit.neg (xor_gate t a b)
+
+(* mux c a b = if c then a else b *)
+let mux_gate t c a b =
+  if is_true t c then a
+  else if is_false t c then b
+  else if a = b then a
+  else if is_true t a && is_false t b then c
+  else if is_false t a && is_true t b then Lit.neg c
+  else
+    gate t ("mux", li c, li a, li b) (fun () ->
+        let o = fresh t in
+        Sat.add_clause t.sat [ Lit.neg c; Lit.neg a; o ];
+        Sat.add_clause t.sat [ Lit.neg c; a; Lit.neg o ];
+        Sat.add_clause t.sat [ c; Lit.neg b; o ];
+        Sat.add_clause t.sat [ c; b; Lit.neg o ];
+        (* Redundant but propagation-strengthening clauses. *)
+        Sat.add_clause t.sat [ Lit.neg a; Lit.neg b; o ];
+        Sat.add_clause t.sat [ a; b; Lit.neg o ];
+        o)
+
+let and_reduce t lits = Array.fold_left (and_gate t) (lit_true t) lits
+
+(* Vectors are LSB-first literal arrays. *)
+
+let bv_var_lits t name width =
+  match Hashtbl.find_opt t.bv_vars name with
+  | Some lits ->
+      if Array.length lits <> width then
+        invalid_arg (Printf.sprintf "Solver: variable %s blasted at two widths" name);
+      lits
+  | None ->
+      let lits = Array.init width (fun _ -> fresh t) in
+      Hashtbl.add t.bv_vars name lits;
+      lits
+
+let bool_var_lit t name =
+  match Hashtbl.find_opt t.bool_vars name with
+  | Some l -> l
+  | None ->
+      let l = fresh t in
+      Hashtbl.add t.bool_vars name l;
+      l
+
+let const_lits t c =
+  Array.init (Bitvec.width c) (fun i -> of_bool t (Bitvec.bit c i))
+
+let add_lits t ?(carry_in = None) a b =
+  let w = Array.length a in
+  let out = Array.make w (lit_false t) in
+  let carry = ref (match carry_in with Some c -> c | None -> lit_false t) in
+  for i = 0 to w - 1 do
+    let axb = xor_gate t a.(i) b.(i) in
+    out.(i) <- xor_gate t axb !carry;
+    carry := or_gate t (and_gate t a.(i) b.(i)) (and_gate t axb !carry)
+  done;
+  out
+
+let not_lits a = Array.map Lit.neg a
+
+let neg_lits t a =
+  let w = Array.length a in
+  let zero = Array.make w (lit_false t) in
+  add_lits t ~carry_in:(Some (lit_true t)) zero (not_lits a)
+
+let sub_lits t a b = add_lits t ~carry_in:(Some (lit_true t)) a (not_lits b)
+
+let mul_lits t a b =
+  let w = Array.length a in
+  let acc = ref (Array.make w (lit_false t)) in
+  for i = 0 to w - 1 do
+    (* addend = (a << i) masked by b.(i) *)
+    let addend =
+      Array.init w (fun j -> if j < i then lit_false t else and_gate t a.(j - i) b.(i))
+    in
+    acc := add_lits t !acc addend
+  done;
+  !acc
+
+let eq_lits t a b =
+  and_reduce t (Array.init (Array.length a) (fun i -> xnor_gate t a.(i) b.(i)))
+
+(* Unsigned a < b: the borrow out of a - b. *)
+let ult_lits t a b =
+  let borrow = ref (lit_false t) in
+  for i = 0 to Array.length a - 1 do
+    let nab = and_gate t (Lit.neg a.(i)) b.(i) in
+    let same = xnor_gate t a.(i) b.(i) in
+    borrow := or_gate t nab (and_gate t same !borrow)
+  done;
+  !borrow
+
+let mux_lits t c a b = Array.init (Array.length a) (fun i -> mux_gate t c a.(i) b.(i))
+
+let rec blast_bv t (term : Term.bv) : Lit.t array =
+  match term with
+  | Term.Bv_const c -> const_lits t c
+  | Term.Bv_var (name, w) -> bv_var_lits t name w
+  | _ ->
+      let key = Obj.repr term in
+      (match Phys.find_opt t.bv_memo key with
+      | Some lits -> lits
+      | None ->
+          let lits =
+            match term with
+            | Term.Bv_const _ | Term.Bv_var _ -> assert false
+            | Term.Bv_not a -> not_lits (blast_bv t a)
+            | Term.Bv_neg a -> neg_lits t (blast_bv t a)
+            | Term.Bv_and (a, b) ->
+                let a = blast_bv t a and b = blast_bv t b in
+                Array.init (Array.length a) (fun i -> and_gate t a.(i) b.(i))
+            | Term.Bv_or (a, b) ->
+                let a = blast_bv t a and b = blast_bv t b in
+                Array.init (Array.length a) (fun i -> or_gate t a.(i) b.(i))
+            | Term.Bv_xor (a, b) ->
+                let a = blast_bv t a and b = blast_bv t b in
+                Array.init (Array.length a) (fun i -> xor_gate t a.(i) b.(i))
+            | Term.Bv_add (a, b) -> add_lits t (blast_bv t a) (blast_bv t b)
+            | Term.Bv_sub (a, b) -> sub_lits t (blast_bv t a) (blast_bv t b)
+            | Term.Bv_mul (a, b) -> mul_lits t (blast_bv t a) (blast_bv t b)
+            | Term.Bv_concat (hi, lo) ->
+                let hi = blast_bv t hi and lo = blast_bv t lo in
+                Array.append lo hi
+            | Term.Bv_extract (hi, lo, a) ->
+                let a = blast_bv t a in
+                Array.sub a lo (hi - lo + 1)
+            | Term.Bv_zero_ext (w, a) ->
+                let a = blast_bv t a in
+                Array.init w (fun i -> if i < Array.length a then a.(i) else lit_false t)
+            | Term.Bv_ite (c, a, b) ->
+                let c = blast_bool t c in
+                mux_lits t c (blast_bv t a) (blast_bv t b)
+          in
+          Phys.add t.bv_memo key lits;
+          lits)
+
+and blast_bool t (term : Term.boolean) : Lit.t =
+  match term with
+  | Term.B_true -> lit_true t
+  | Term.B_false -> lit_false t
+  | Term.B_var name -> bool_var_lit t name
+  | _ ->
+      let key = Obj.repr term in
+      (match Phys.find_opt t.bool_memo key with
+      | Some l -> l
+      | None ->
+          let l =
+            match term with
+            | Term.B_true | Term.B_false | Term.B_var _ -> assert false
+            | Term.B_eq (a, b) -> eq_lits t (blast_bv t a) (blast_bv t b)
+            | Term.B_ult (a, b) -> ult_lits t (blast_bv t a) (blast_bv t b)
+            | Term.B_ule (a, b) -> Lit.neg (ult_lits t (blast_bv t b) (blast_bv t a))
+            | Term.B_not a -> Lit.neg (blast_bool t a)
+            | Term.B_and (a, b) -> and_gate t (blast_bool t a) (blast_bool t b)
+            | Term.B_or (a, b) -> or_gate t (blast_bool t a) (blast_bool t b)
+            | Term.B_ite (c, a, b) ->
+                mux_gate t (blast_bool t c) (blast_bool t a) (blast_bool t b)
+          in
+          Phys.add t.bool_memo key l;
+          l)
+
+let assert_formula t formula =
+  let l = blast_bool t formula in
+  Sat.add_clause t.sat [ l ]
+
+type model = {
+  bv : string -> Bitvec.t option;
+  bool : string -> bool option;
+}
+
+type result = Sat of model | Unsat
+
+let lit_model_value t l =
+  let v = Sat.value t.sat (Lit.var l) in
+  if Lit.sign l then v else not v
+
+let extract_model t =
+  (* Snapshot values now: the SAT solver's assignment is transient. *)
+  let bvs = Hashtbl.create 64 in
+  Hashtbl.iter
+    (fun name lits ->
+      let w = Array.length lits in
+      let v = ref (Bitvec.zero w) in
+      Array.iteri
+        (fun i l ->
+          if lit_model_value t l then
+            v := Bitvec.logor !v (Bitvec.shift_left (Bitvec.of_int ~width:w 1) i))
+        lits;
+      Hashtbl.replace bvs name !v)
+    t.bv_vars;
+  let bools = Hashtbl.create 16 in
+  Hashtbl.iter (fun name l -> Hashtbl.replace bools name (lit_model_value t l)) t.bool_vars;
+  { bv = Hashtbl.find_opt bvs; bool = Hashtbl.find_opt bools }
+
+let check ?(assumptions = []) t =
+  let assumption_lits = List.map (blast_bool t) assumptions in
+  match Sat.solve ~assumptions:assumption_lits t.sat with
+  | Sat.Sat -> Sat (extract_model t)
+  | Sat.Unsat -> Unsat
+
+let stats t =
+  ("gates", t.n_gates) :: ("sat_vars", Sat.num_vars t.sat) :: Sat.stats t.sat

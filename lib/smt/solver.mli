@@ -1,0 +1,32 @@
+(** SMT solver frontend for QF_BV.
+
+    Formulas built with {!Term} are bit-blasted (Tseitin encoding) into the
+    {!Sat} CDCL core. The solver is incremental in the style p4-symbolic
+    needs: assert the program encoding once with [assert_formula], then pose
+    each coverage goal as an {e assumption} to [check] — the clause database
+    (and everything the SAT solver learned) is reused across goals. *)
+
+module Bitvec = Switchv_bitvec.Bitvec
+
+type t
+
+val create : unit -> t
+
+val assert_formula : t -> Term.boolean -> unit
+(** Permanently constrain the instance. *)
+
+type model = {
+  bv : string -> Bitvec.t option;   (** value of a bitvector variable *)
+  bool : string -> bool option;     (** value of a boolean variable *)
+}
+
+type result = Sat of model | Unsat
+
+val check : ?assumptions:Term.boolean list -> t -> result
+(** Satisfiability of asserted formulas plus the given assumptions. On
+    [Sat], the model covers every variable that appears in asserted or
+    assumed formulas; variables the SAT core left unconstrained get
+    arbitrary (but fixed) values. *)
+
+val stats : t -> (string * int) list
+(** SAT-core statistics plus CNF size counters. *)

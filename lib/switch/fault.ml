@@ -1,0 +1,110 @@
+module Bitvec = Switchv_bitvec.Bitvec
+
+type component =
+  | P4runtime_server
+  | Gnmi
+  | Orchestration_agent
+  | Syncd
+  | Switch_linux
+  | Hardware
+  | P4_toolchain
+  | Input_p4_program
+  | Vendor_software
+  | Bmv2_simulator
+
+let component_to_string = function
+  | P4runtime_server -> "P4Runtime Server"
+  | Gnmi -> "gNMI"
+  | Orchestration_agent -> "Orchestration Agent"
+  | Syncd -> "SyncD Binary"
+  | Switch_linux -> "Switch Linux"
+  | Hardware -> "Hardware"
+  | P4_toolchain -> "P4 Toolchain"
+  | Input_p4_program -> "Input P4 Program"
+  | Vendor_software -> "Switch software"
+  | Bmv2_simulator -> "BMv2 P4 Simulator"
+
+type trivial_test =
+  | Set_p4info
+  | Table_entry_programming
+  | Read_all_tables
+  | Packet_in
+  | Packet_out
+  | Packet_forwarding
+
+let trivial_test_to_string = function
+  | Set_p4info -> "Set P4Info"
+  | Table_entry_programming -> "Table entry programming"
+  | Read_all_tables -> "Read all tables"
+  | Packet_in -> "Packet-in"
+  | Packet_out -> "Packet-out"
+  | Packet_forwarding -> "Packet forwarding"
+
+let trivial_tests =
+  [ Set_p4info; Table_entry_programming; Read_all_tables; Packet_in; Packet_out;
+    Packet_forwarding ]
+
+type kind =
+  | Reject_valid_insert of string
+  | Accept_constraint_violation of string
+  | Accept_dangling_reference of string
+  | Accept_duplicate_insert of string
+  | Delete_nonexistent_fails_batch
+  | Modify_keeps_old_args of string
+  | Accept_invalid_weight
+  | Reject_duplicate_wcmp_actions
+  | Read_drops_table of string
+  | Read_zeroes_priority
+  | Resource_exhausted_early of string * int
+  | Delete_leaves_entry of string
+  | Reject_vrf_delete_with_any_routes
+  | P4info_push_fails
+  | Crash_on_delete_sequence of int
+  | Syncd_drops_table of string
+  | Syncd_offsets_port_arg of string
+  | Wcmp_update_removes_member
+  | Ttl_trap_always
+  | Drop_dst_ip of Bitvec.t
+  | Punt_ether_type of int
+  | Packet_out_punted_back
+  | Dscp_remark_zero of int
+  | Drop_on_port of int
+  | Mirror_ignored
+  | Submit_to_ingress_dropped
+  | Punt_lost
+  | Encap_reversed_dst
+  | Forward_wrong_port_for_port of int
+
+type t = {
+  id : string;
+  kind : kind;
+  component : component;
+  description : string;
+  days_to_resolution : int option;
+  trivial_test : trivial_test option;
+}
+
+let make ?days ?trivial ~id ~component kind description =
+  { id; kind; component; description; days_to_resolution = days;
+    trivial_test = trivial }
+
+let is_control_plane = function
+  | Reject_valid_insert _ | Accept_constraint_violation _
+  | Accept_dangling_reference _ | Accept_duplicate_insert _
+  | Delete_nonexistent_fails_batch | Modify_keeps_old_args _
+  | Accept_invalid_weight | Reject_duplicate_wcmp_actions | Read_drops_table _
+  | Read_zeroes_priority | Resource_exhausted_early _ | Delete_leaves_entry _
+  | Reject_vrf_delete_with_any_routes | P4info_push_fails
+  | Crash_on_delete_sequence _ -> true
+  | Syncd_drops_table _ | Syncd_offsets_port_arg _ | Wcmp_update_removes_member
+  | Ttl_trap_always | Drop_dst_ip _ | Punt_ether_type _ | Packet_out_punted_back
+  | Dscp_remark_zero _ | Drop_on_port _ | Mirror_ignored
+  | Submit_to_ingress_dropped | Punt_lost | Encap_reversed_dst
+  | Forward_wrong_port_for_port _ -> false
+
+let pp fmt t =
+  Format.fprintf fmt "[%s] %s (%s%s)" t.id t.description
+    (component_to_string t.component)
+    (match t.days_to_resolution with
+    | Some d -> Printf.sprintf ", fixed in %d days" d
+    | None -> ", unresolved")

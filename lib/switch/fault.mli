@@ -1,0 +1,99 @@
+(** Fault injection: the catalogue schema for seeded switch bugs.
+
+    The paper validates physical switch stacks whose bugs are unknown ahead
+    of time; our substitute is a simulated stack seeded with faults drawn
+    from a catalogue modeled on the paper's Appendix A and Table 1. Each
+    fault names the {e component} it lives in (for Table 1 attribution),
+    the detector expected to find it, resolution metadata (for Figure 7),
+    and which trivial integration test would catch it (for Table 2). *)
+
+module Bitvec = Switchv_bitvec.Bitvec
+
+(** Switch-stack components, following Table 1. *)
+type component =
+  | P4runtime_server
+  | Gnmi
+  | Orchestration_agent
+  | Syncd
+  | Switch_linux
+  | Hardware
+  | P4_toolchain
+  | Input_p4_program
+  | Vendor_software      (** Cerberus's coarse "switch software" bucket *)
+  | Bmv2_simulator
+
+val component_to_string : component -> string
+
+(** The six trivial integration tests of §6.2, in their fixed order. *)
+type trivial_test =
+  | Set_p4info
+  | Table_entry_programming
+  | Read_all_tables
+  | Packet_in
+  | Packet_out
+  | Packet_forwarding
+
+val trivial_test_to_string : trivial_test -> string
+val trivial_tests : trivial_test list
+
+(** Injected behaviours. Control-plane kinds perturb the P4Runtime server's
+    handling of writes/reads; sync kinds desynchronise the ASIC state from
+    the server's view; data-plane kinds perturb packet processing. *)
+type kind =
+  (* control plane (P4Runtime server layer) *)
+  | Reject_valid_insert of string             (** spurious error on a table *)
+  | Accept_constraint_violation of string     (** skips @entry_restriction *)
+  | Accept_dangling_reference of string       (** skips @refers_to check *)
+  | Accept_duplicate_insert of string
+  | Delete_nonexistent_fails_batch
+  | Modify_keeps_old_args of string
+  | Accept_invalid_weight
+  | Reject_duplicate_wcmp_actions             (** valid same-action buckets refused *)
+  | Read_drops_table of string                (** read omits a table's entries *)
+  | Read_zeroes_priority
+  | Resource_exhausted_early of string * int  (** rejects beyond a fraction of size *)
+  | Delete_leaves_entry of string             (** OK status but entry stays *)
+  | Reject_vrf_delete_with_any_routes
+  | P4info_push_fails
+  | Crash_on_delete_sequence of int           (** unresponsive after n deletes in one batch *)
+  (* sync layers (orchestration agent / SyncD): ASIC diverges from server *)
+  | Syncd_drops_table of string               (** entries never reach the ASIC *)
+  | Syncd_offsets_port_arg of string          (** port argument off by one in ASIC *)
+  | Wcmp_update_removes_member
+  (* data plane (ASIC / Switch Linux / chip contract / model bugs) *)
+  | Ttl_trap_always                           (** chip punts TTL<=1 even when admitted *)
+  | Drop_dst_ip of Bitvec.t                   (** drops packets to an address *)
+  | Punt_ether_type of int                    (** spurious punt (e.g. LLDP 0x88CC) *)
+  | Packet_out_punted_back
+  | Dscp_remark_zero of int                   (** re-marks a specific DSCP to 0 *)
+  | Drop_on_port of int                       (** electric-interference port drop *)
+  | Mirror_ignored
+  | Submit_to_ingress_dropped
+  | Punt_lost                         (** punted copies silently vanish *)
+  | Encap_reversed_dst                        (** Cerberus endianness bug *)
+  | Forward_wrong_port_for_port of int        (** rewrites one egress port to another *)
+
+type t = {
+  id : string;
+  kind : kind;
+  component : component;
+  description : string;
+  days_to_resolution : int option;   (** [None] = unresolved *)
+  trivial_test : trivial_test option;
+      (** first trivial test of §6.2 that would catch it, if any *)
+}
+
+val make :
+  ?days:int ->
+  ?trivial:trivial_test ->
+  id:string ->
+  component:component ->
+  kind ->
+  string ->
+  t
+
+val is_control_plane : kind -> bool
+(** Kinds whose primary observable is the control-plane API (the fuzzer's
+    hunting ground); the rest surface in packet behaviour. *)
+
+val pp : Format.formatter -> t -> unit

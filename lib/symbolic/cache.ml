@@ -1,0 +1,51 @@
+type backend = Memory | Disk of string
+
+type t = {
+  backend : backend;
+  table : (string, string) Hashtbl.t;
+  mutable n_hits : int;
+  mutable n_misses : int;
+}
+
+let in_memory () = { backend = Memory; table = Hashtbl.create 16; n_hits = 0; n_misses = 0 }
+
+let on_disk dir = { backend = Disk dir; table = Hashtbl.create 16; n_hits = 0; n_misses = 0 }
+
+let path dir key = Filename.concat dir (key ^ ".cache")
+
+let find t ~key =
+  let result =
+    match Hashtbl.find_opt t.table key with
+    | Some v -> Some v
+    | None -> (
+        match t.backend with
+        | Memory -> None
+        | Disk dir -> (
+            let file = path dir key in
+            if Sys.file_exists file then begin
+              let ic = open_in_bin file in
+              let n = in_channel_length ic in
+              let payload = really_input_string ic n in
+              close_in ic;
+              Hashtbl.replace t.table key payload;
+              Some payload
+            end
+            else None))
+  in
+  (match result with
+  | Some _ -> t.n_hits <- t.n_hits + 1
+  | None -> t.n_misses <- t.n_misses + 1);
+  result
+
+let store t ~key payload =
+  Hashtbl.replace t.table key payload;
+  match t.backend with
+  | Memory -> ()
+  | Disk dir ->
+      if not (Sys.file_exists dir) then Sys.mkdir dir 0o755;
+      let oc = open_out_bin (path dir key) in
+      output_string oc payload;
+      close_out oc
+
+let hits t = t.n_hits
+let misses t = t.n_misses

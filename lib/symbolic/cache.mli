@@ -1,0 +1,21 @@
+(** Result cache for generated test packets (§6.3).
+
+    Keys are content digests of (program, entries, goals); values are the
+    serialised generation results. The cache can live purely in memory or
+    be backed by a directory of files, in which case results survive
+    across processes (the nightly-run use case). *)
+
+type t
+
+val in_memory : unit -> t
+
+val on_disk : string -> t
+(** The directory is created on first store if needed. *)
+
+val find : t -> key:string -> string option
+(** Raw serialised payload, if present. *)
+
+val store : t -> key:string -> string -> unit
+
+val hits : t -> int
+val misses : t -> int

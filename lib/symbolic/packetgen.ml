@@ -1,0 +1,242 @@
+module Ast = Switchv_p4ir.Ast
+module Bitvec = Switchv_bitvec.Bitvec
+module Header = Switchv_packet.Header
+module Packet = Switchv_packet.Packet
+module Entry = Switchv_p4runtime.Entry
+module P4info = Switchv_p4ir.P4info
+module Term = Switchv_smt.Term
+module Solver = Switchv_smt.Solver
+
+type goal = {
+  goal_id : string;
+  goal_cond : Term.boolean;
+  goal_prefer : Term.boolean;
+  goal_desc : string;
+}
+
+let entry_coverage_goals ?(prefer = Term.tru) (enc : Symexec.encoding) =
+  List.filter_map
+    (fun (tp : Symexec.trace_point) ->
+      if String.equal tp.tp_table "<if>" then None
+      else
+        Some
+          { goal_id = Printf.sprintf "entry:%s:%s" tp.tp_table tp.tp_label;
+            goal_cond = tp.tp_guard;
+            goal_prefer = prefer;
+            goal_desc = Printf.sprintf "hit %s in table %s" tp.tp_label tp.tp_table })
+    enc.enc_trace
+
+let branch_coverage_goals ?(prefer = Term.tru) (enc : Symexec.encoding) =
+  List.filter_map
+    (fun (tp : Symexec.trace_point) ->
+      if String.equal tp.tp_table "<if>" then
+        Some
+          { goal_id = "branch:" ^ tp.tp_label;
+            goal_cond = tp.tp_guard;
+            goal_prefer = prefer;
+            goal_desc = "cover pipeline " ^ tp.tp_label }
+      else None)
+    enc.enc_trace
+
+let custom_goal ?(prefer = Term.tru) ~id ~desc cond =
+  { goal_id = id; goal_cond = cond; goal_prefer = prefer; goal_desc = desc }
+
+let trace_coverage_goals ?(prefer = Term.tru) ?(max_goals = 512) (enc : Symexec.encoding)
+    ~tables =
+  let points_of table =
+    List.filter (fun (tp : Symexec.trace_point) -> String.equal tp.tp_table table)
+      enc.enc_trace
+  in
+  let combos =
+    List.fold_left
+      (fun acc table ->
+        let points = points_of table in
+        if points = [] then acc
+        else
+          List.concat_map
+            (fun combo -> List.map (fun tp -> tp :: combo) points)
+            acc)
+      [ [] ] tables
+  in
+  let goals =
+    List.filter_map
+      (fun combo ->
+        match combo with
+        | [] -> None
+        | _ ->
+            let combo = List.rev combo in
+            let cond =
+              Term.conj (List.map (fun (tp : Symexec.trace_point) -> tp.tp_guard) combo)
+            in
+            let label =
+              String.concat " & "
+                (List.map
+                   (fun (tp : Symexec.trace_point) -> tp.tp_table ^ ":" ^ tp.tp_label)
+                   combo)
+            in
+            Some
+              { goal_id = "trace:" ^ label;
+                goal_cond = cond;
+                goal_prefer = prefer;
+                goal_desc = "cover the trace combination " ^ label })
+      combos
+  in
+  List.filteri (fun i _ -> i < max_goals) goals
+
+type test_packet = {
+  tp_goal : string;
+  tp_port : int;
+  tp_bytes : string option;
+}
+
+type result = {
+  packets : test_packet list;
+  covered : int;
+  uncoverable : int;
+  solver_stats : (string * int) list;
+  from_cache : bool;
+}
+
+(* --- model -> packet ------------------------------------------------------------ *)
+
+let packet_of_model (enc : Symexec.encoding) (m : Solver.model) =
+  let program = enc.enc_program in
+  let headers =
+    List.filter_map
+      (fun (h : Header.t) ->
+        let valid =
+          Option.value ~default:false (m.Solver.bool (Symexec.validity_var ~header:h.name))
+        in
+        if not valid then None
+        else
+          Some
+            (Packet.instance h
+               (List.map
+                  (fun (f : Header.field) ->
+                    let name = Symexec.field_var ~header:h.name ~field:f.f_name in
+                    let v =
+                      match m.Solver.bv name with
+                      | Some v -> v
+                      | None -> Bitvec.zero f.f_width
+                    in
+                    (f.f_name, v))
+                  h.fields)))
+      program.p_headers
+  in
+  let packet = { Packet.headers; payload = "" } in
+  Packet.to_bytes packet
+
+let port_of_model (m : Solver.model) ports =
+  match m.Solver.bv Symexec.ingress_port_var with
+  | Some v -> (
+      match Bitvec.to_int v with
+      | Some p when List.mem p ports -> p
+      | _ -> List.hd ports)
+  | None -> List.hd ports
+
+(* --- cache serialisation --------------------------------------------------------- *)
+
+(* test packets are (goal, port, bytes option) triples of primitives, safe
+   for Marshal round-trips within this program. *)
+let serialize (packets : test_packet list) =
+  Marshal.to_string (List.map (fun p -> (p.tp_goal, p.tp_port, p.tp_bytes)) packets) []
+
+let deserialize payload : test_packet list =
+  let triples : (string * int * string option) list = Marshal.from_string payload 0 in
+  List.map (fun (g, p, b) -> { tp_goal = g; tp_port = p; tp_bytes = b }) triples
+
+let cache_key (enc : Symexec.encoding) goals ~ports =
+  let buf = Buffer.create 4096 in
+  Buffer.add_string buf (P4info.digest (P4info.of_program enc.enc_program));
+  List.iter
+    (fun (tp : Symexec.trace_point) ->
+      Buffer.add_string buf tp.tp_table;
+      Buffer.add_char buf '/';
+      Buffer.add_string buf tp.tp_label;
+      Buffer.add_char buf ';')
+    enc.enc_trace;
+  List.iter (fun g -> Buffer.add_string buf g.goal_id) goals;
+  (* Goal preferences change which packet a goal yields; fold the set of
+     distinct preference terms (usually one, shared across all goals) into
+     the key. Marshal keeps sharing, so this stays cheap on DAG terms. *)
+  let distinct_prefers =
+    List.fold_left
+      (fun acc g -> if List.memq g.goal_prefer acc then acc else g.goal_prefer :: acc)
+      [] goals
+  in
+  List.iter
+    (fun p -> Buffer.add_string buf (Digest.string (Marshal.to_string p [])))
+    distinct_prefers;
+  List.iter (fun p -> Buffer.add_string buf (string_of_int p)) ports;
+  Digest.to_hex (Digest.string (Buffer.contents buf))
+
+(* --- generation -------------------------------------------------------------------- *)
+
+let generate ?(ports = [ 1; 2; 3; 4 ]) ?cache (enc : Symexec.encoding) goals =
+  let key = cache_key enc goals ~ports in
+  let cached =
+    match cache with
+    | None -> None
+    | Some c -> Cache.find c ~key |> Option.map deserialize
+  in
+  match cached with
+  | Some packets ->
+      let covered = List.length (List.filter (fun p -> p.tp_bytes <> None) packets) in
+      { packets;
+        covered;
+        uncoverable = List.length packets - covered;
+        solver_stats = [];
+        from_cache = true }
+  | None ->
+      let solver = Solver.create () in
+      Solver.assert_formula solver enc.enc_wellformed;
+      let port_constraint =
+        Term.disj
+          (List.map
+             (fun p ->
+               Term.eq (Term.var Symexec.ingress_port_var 16) (Term.of_int ~width:16 p))
+             ports)
+      in
+      Solver.assert_formula solver port_constraint;
+      let nports = List.length ports in
+      let port_term = Term.var Symexec.ingress_port_var 16 in
+      let packets =
+        List.mapi
+          (fun i goal ->
+            (* Soft constraints, weakest-last: preferred outcome plus a
+               cycled ingress port, then progressively relaxed. *)
+            let preferred_port =
+              Term.eq port_term (Term.of_int ~width:16 (List.nth ports (i mod nports)))
+            in
+            let attempts =
+              [ [ goal.goal_cond; goal.goal_prefer; preferred_port ];
+                [ goal.goal_cond; goal.goal_prefer ];
+                [ goal.goal_cond; preferred_port ];
+                [ goal.goal_cond ] ]
+            in
+            let rec solve = function
+              | [] -> Solver.Unsat
+              | assumptions :: rest -> (
+                  match Solver.check ~assumptions solver with
+                  | Solver.Sat _ as r -> r
+                  | Solver.Unsat -> solve rest)
+            in
+            let result = solve attempts in
+            match result with
+            | Solver.Sat m ->
+                { tp_goal = goal.goal_id;
+                  tp_port = port_of_model m ports;
+                  tp_bytes = Some (packet_of_model enc m) }
+            | Solver.Unsat ->
+                { tp_goal = goal.goal_id; tp_port = List.hd ports; tp_bytes = None })
+          goals
+      in
+      (match cache with
+      | Some c -> Cache.store c ~key (serialize packets)
+      | None -> ());
+      let covered = List.length (List.filter (fun p -> p.tp_bytes <> None) packets) in
+      { packets;
+        covered;
+        uncoverable = List.length packets - covered;
+        solver_stats = Solver.stats solver;
+        from_cache = false }

@@ -1,0 +1,73 @@
+(** Test-packet generation from coverage goals (§5 "Coverage Constraints").
+
+    The symbolic encoding is asserted once; each coverage goal is posed as
+    an {e assumption} to the shared SMT solver (the clause database and all
+    learned facts are reused across the |T| queries). Satisfiable goals
+    yield concrete test packets; unsatisfiable goals are reported as
+    uncoverable (e.g. shadowed table entries).
+
+    Generation results are cached (§6.3 "Caching") under a digest of the
+    program, the installed entries, and the goal set: nightly runs whose
+    specification did not change skip the SMT stage entirely. *)
+
+module Ast = Switchv_p4ir.Ast
+module Entry = Switchv_p4runtime.Entry
+module Term = Switchv_smt.Term
+
+type goal = {
+  goal_id : string;                (** unique, stable across runs *)
+  goal_cond : Term.boolean;
+  goal_prefer : Term.boolean;
+      (** A soft constraint: tried first, dropped if it makes the goal
+          unsatisfiable. Campaigns prefer packets that are {e forwarded}
+          (hitting an entry with a TTL-0 packet that both sides drop is
+          poor differential coverage). *)
+  goal_desc : string;
+}
+
+val entry_coverage_goals : ?prefer:Term.boolean -> Symexec.encoding -> goal list
+(** One goal per (table, installed entry) and per table default — the
+    paper's "hit every reachable input table entry at least once". *)
+
+val branch_coverage_goals : ?prefer:Term.boolean -> Symexec.encoding -> goal list
+(** One goal per side of every pipeline conditional. *)
+
+val custom_goal : ?prefer:Term.boolean -> id:string -> desc:string -> Term.boolean -> goal
+
+val trace_coverage_goals :
+  ?prefer:Term.boolean ->
+  ?max_goals:int ->
+  Symexec.encoding ->
+  tables:string list ->
+  goal list
+(** The paper's "practical middle ground" between branch and trace
+    coverage (§5): full trace coverage is combinatorial in the number of
+    entries, so testers select a subset of important tables and cover the
+    {e cross-product} of their trace points (every combination of entries
+    across the selected tables, one goal per combination). Truncated at
+    [max_goals] (default 512); combinations whose guards conflict are
+    reported as uncoverable by [generate]. *)
+
+type test_packet = {
+  tp_goal : string;
+  tp_port : int;                   (** ingress port to inject on *)
+  tp_bytes : string option;        (** [None]: the goal is unsatisfiable *)
+}
+
+type result = {
+  packets : test_packet list;
+  covered : int;
+  uncoverable : int;
+  solver_stats : (string * int) list;
+  from_cache : bool;
+}
+
+val generate :
+  ?ports:int list ->
+  ?cache:Cache.t ->
+  Symexec.encoding ->
+  goal list ->
+  result
+(** [ports] restricts the free ingress port (default [[1; 2; 3; 4]]). *)
+
+val cache_key : Symexec.encoding -> goal list -> ports:int list -> string

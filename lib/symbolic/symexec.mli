@@ -1,0 +1,47 @@
+(** p4-symbolic's symbolic executor (§5).
+
+    Performs a {e single pass} over the P4 program, executing all branches
+    against one shared symbolic state with guarded effects (Dijkstra-style
+    guarded commands) rather than enumerating traces — the paper's key
+    design choice for scaling to hundreds of table entries.
+
+    The symbolic input X is one unconstrained bitvector variable per
+    packet-header field, plus a boolean validity variable per header and a
+    free ingress port. Parser semantics are captured as a well-formedness
+    constraint relating validity variables to the select conditions along
+    parser paths. Installed table entries are concrete; each (table, entry)
+    pair and each pipeline branch contributes a guard to the symbolic
+    trace T. Hashes — explicit [E_hash] and the implicit WCMP selector —
+    are "free" (§5 "Hashing"): fresh unconstrained variables. *)
+
+module Ast = Switchv_p4ir.Ast
+module Entry = Switchv_p4runtime.Entry
+module Term = Switchv_smt.Term
+
+(** Input variable naming scheme: header fields are ["in.<hdr>.<field>"],
+    validity booleans ["valid.<hdr>"], the ingress port
+    ["in.std.ingress_port"]. *)
+
+val field_var : header:string -> field:string -> string
+val validity_var : header:string -> string
+val ingress_port_var : string
+
+type trace_point = {
+  tp_table : string;               (** table name, or ["<if>"] for branches *)
+  tp_label : string;               (** entry match-key, ["<default>"], or branch id *)
+  tp_guard : Term.boolean;         (** true iff this point is executed/matched *)
+}
+
+type encoding = {
+  enc_program : Ast.program;
+  enc_wellformed : Term.boolean;   (** parser-derived validity constraints *)
+  enc_trace : trace_point list;    (** the symbolic trace T, in pipeline order *)
+  enc_egress : Term.bv;            (** Y: final egress port *)
+  enc_dropped : Term.boolean;
+  enc_punted : Term.boolean;
+}
+
+val encode : Ast.program -> Entry.t list -> encoding
+(** Symbolically execute the program against the given installed entries.
+    The entries are assumed valid for the program (install them through
+    {!Switchv_p4runtime.Validate} first). *)

@@ -1,0 +1,268 @@
+(* Tests for p4-fuzzer: generation validity split, mutation coverage,
+   batch independence (the §4.4 invariants), determinism, and the sweep. *)
+
+module Bitvec = Switchv_bitvec.Bitvec
+module Rng = Switchv_bitvec.Rng
+module Entry = Switchv_p4runtime.Entry
+module Request = Switchv_p4runtime.Request
+module State = Switchv_p4runtime.State
+module Validate = Switchv_p4runtime.Validate
+module P4info = Switchv_p4ir.P4info
+module Fuzzer = Switchv_fuzzer.Fuzzer
+module Middleblock = Switchv_sai.Middleblock
+
+let check_bool = Alcotest.check Alcotest.bool
+let check_int = Alcotest.check Alcotest.int
+
+let info = Middleblock.info
+
+let make_fuzzer ?config seed = Fuzzer.create ?config info (Rng.create seed)
+
+let batches fuzzer n = List.init n (fun _ -> Fuzzer.next_batch fuzzer)
+
+(* Pair each batch with a snapshot of the mirror as of the batch's start
+   (the mirror object is live and evolves across batches). *)
+let batches_with_mirrors fuzzer n =
+  List.init n (fun _ ->
+      let snapshot = State.copy (Fuzzer.mirror fuzzer) in
+      (Fuzzer.next_batch fuzzer, snapshot))
+
+let test_deterministic () =
+  let run seed =
+    let f = make_fuzzer seed in
+    List.concat_map
+      (List.map (fun (a : Fuzzer.annotated_update) ->
+           Format.asprintf "%a" Request.pp_update a.update))
+      (batches f 5)
+  in
+  check_bool "same seed, same stream" true (run 11 = run 11);
+  check_bool "different seeds differ" true (run 11 <> run 12)
+
+let test_unmutated_updates_syntactic () =
+  (* Un-mutated updates must be syntactically valid (§4.1: the fuzzer
+     "violates no obvious rules in the P4Runtime specification"). Per the
+     paper, constraint compliance is deliberately NOT enforced at
+     generation time — restricted tables frequently receive entries that
+     violate their restrictions, and the oracle judges those like any
+     other invalid request. *)
+  let f = make_fuzzer 3 in
+  let violations = ref 0 in
+  List.iter
+    (fun batch ->
+      List.iter
+        (fun (a : Fuzzer.annotated_update) ->
+          if a.mutation = None && a.update.op = Request.Insert then begin
+            (match Validate.syntactic info a.update.entry with
+            | Ok () -> ()
+            | Error s ->
+                Alcotest.failf "unmutated insert is syntactically invalid (%s): %s"
+                  (Format.asprintf "%a" Request.pp_update a.update)
+                  (Format.asprintf "%a" Switchv_p4runtime.Status.pp s));
+            if Validate.check_entry info a.update.entry |> Result.is_error then
+              incr violations
+          end)
+        batch)
+    (batches f 10);
+  check_bool "constraint-violating valid-shaped entries do occur (§4.1)" true
+    (!violations > 0)
+
+let test_mutated_updates_invalid () =
+  (* Every mutated update must actually be invalid: rejected by the
+     state-independent check, a dangling reference, a duplicate, or a
+     missing delete target — relative to the mirror as of the start of the
+     update's own batch (the state the oracle would judge against). *)
+  let f = make_fuzzer 7 in
+  List.iter
+    (fun (batch, mirror) ->
+      List.iter
+        (fun (a : Fuzzer.annotated_update) ->
+          match a.mutation with
+          | None -> ()
+          | Some m ->
+              let e = a.update.entry in
+              let state_independent_invalid =
+                Validate.check_entry info e |> Result.is_error
+              in
+              let dangling =
+                Validate.check_references info e ~exists:(fun ~table ~key value ->
+                    State.exists_value mirror ~table ~key value)
+                |> Result.is_error
+              in
+              let invalid =
+                match a.update.op with
+                | Request.Insert ->
+                    state_independent_invalid || dangling
+                    || State.find mirror e <> None (* duplicate *)
+                | Request.Delete -> State.find mirror e = None
+                | Request.Modify -> state_independent_invalid || dangling
+              in
+              if not invalid then
+                Alcotest.failf "mutation %s produced a valid update: %s" m
+                  (Format.asprintf "%a" Request.pp_update a.update))
+        batch)
+    (batches_with_mirrors f 8)
+
+let test_mutation_diversity () =
+  let f = make_fuzzer 5 in
+  let seen = Hashtbl.create 16 in
+  List.iter
+    (List.iter (fun (a : Fuzzer.annotated_update) ->
+         Option.iter (fun m -> Hashtbl.replace seen m ()) a.mutation))
+    (batches f 30);
+  let distinct = Hashtbl.length seen in
+  check_bool
+    (Printf.sprintf "at least 12 of %d mutations exercised (got %d)"
+       (List.length Fuzzer.mutations) distinct)
+    true (distinct >= 12)
+
+let test_batch_no_duplicate_keys () =
+  let f = make_fuzzer 9 in
+  List.iter
+    (fun batch ->
+      let keys =
+        List.map (fun (a : Fuzzer.annotated_update) -> Entry.match_key a.update.entry) batch
+      in
+      check_int "no two updates share an entry key" (List.length keys)
+        (List.length (List.sort_uniq String.compare keys)))
+    (batches f 10)
+
+let test_batch_no_internal_dependencies () =
+  (* No update may reference a value inserted or deleted by another update
+     of the same batch (§4.4: batches must be order-independent). *)
+  let f = make_fuzzer 13 in
+  List.iter
+    (fun batch ->
+      let inserts_provide =
+        List.concat_map
+          (fun (a : Fuzzer.annotated_update) ->
+            if a.update.op = Request.Insert && a.mutation = None then
+              List.filter_map
+                (fun (fm : Entry.field_match) ->
+                  match fm.fm_value with
+                  | Entry.M_exact v -> Some (a.update.entry.e_table, fm.fm_field, v)
+                  | _ -> None)
+                a.update.entry.e_matches
+            else [])
+          batch
+      in
+      List.iter
+        (fun (a : Fuzzer.annotated_update) ->
+          List.iter
+            (fun (r : Validate.reference) ->
+              let provided_in_batch =
+                List.exists
+                  (fun (t, k, v) ->
+                    t = r.ref_table && k = r.ref_key && Bitvec.equal v r.ref_value)
+                  inserts_provide
+              in
+              if a.mutation = None && provided_in_batch then
+                Alcotest.failf "update depends on a same-batch insert: %s"
+                  (Format.asprintf "%a" Request.pp_update a.update))
+            (Validate.references info a.update.entry))
+        batch)
+    (batches f 10)
+
+let test_mirror_tracks_valid_inserts () =
+  let f = make_fuzzer 21 in
+  ignore (batches f 10);
+  check_bool "mirror grows" true (State.total (Fuzzer.mirror f) > 0)
+
+let test_capacity_respected () =
+  (* The fuzzer never plans more inserts than a table's guaranteed size. *)
+  let f = make_fuzzer 17 in
+  ignore (batches f 40);
+  let mirror = Fuzzer.mirror f in
+  List.iter
+    (fun (ti : P4info.table) ->
+      check_bool
+        (Printf.sprintf "%s within size %d" ti.ti_name ti.ti_size)
+        true
+        (State.count mirror ti.ti_name <= ti.ti_size))
+    info.pi_tables
+
+(* --- sweep ------------------------------------------------------------------ *)
+
+let test_sweep_covers_tables () =
+  let f = make_fuzzer 2 in
+  let sweep = Fuzzer.sweep f in
+  let inserted_tables = Hashtbl.create 16 in
+  List.iter
+    (List.iter (fun (a : Fuzzer.annotated_update) ->
+         if a.mutation = None && a.update.op = Request.Insert then
+           Hashtbl.replace inserted_tables a.update.entry.e_table ()))
+    sweep;
+  (* Every table gets at least one valid insert. *)
+  List.iter
+    (fun (ti : P4info.table) ->
+      check_bool (ti.ti_name ^ " seeded by sweep") true
+        (Hashtbl.mem inserted_tables ti.ti_name))
+    info.pi_tables
+
+let test_sweep_covers_mutations_per_table () =
+  let f = make_fuzzer 2 in
+  let sweep = Fuzzer.sweep f in
+  let pairs = Hashtbl.create 64 in
+  List.iter
+    (List.iter (fun (a : Fuzzer.annotated_update) ->
+         match a.mutation with
+         | Some m -> Hashtbl.replace pairs (a.update.entry.e_table, m) ()
+         | None -> ()))
+    sweep;
+  (* The always-applicable mutations hit every table. (invalid_table_id
+     rewrites the table name itself, so count its occurrences globally.) *)
+  List.iter
+    (fun (ti : P4info.table) ->
+      check_bool
+        (Printf.sprintf "%s x duplicate_match_field in sweep" ti.ti_name)
+        true
+        (Hashtbl.mem pairs (ti.ti_name, "duplicate_match_field")))
+    info.pi_tables;
+  let ghost_inserts =
+    Hashtbl.fold
+      (fun (_, m) () acc -> if m = "invalid_table_id" then acc + 1 else acc)
+      pairs 0
+  in
+  check_bool "invalid_table_id applied across the sweep" true
+    (ghost_inserts >= List.length info.pi_tables);
+  (* Constraint violations are exercised on the restricted tables. *)
+  check_bool "vrf constraint violation swept" true
+    (Hashtbl.mem pairs ("vrf_table", "constraint_violation"))
+
+let test_sweep_respects_dependency_order () =
+  let f = make_fuzzer 2 in
+  let sweep = Fuzzer.sweep f in
+  (* Scanning valid inserts in order, references must always resolve
+     against what was inserted before. *)
+  let seen = State.create () in
+  List.iter
+    (List.iter (fun (a : Fuzzer.annotated_update) ->
+         if a.mutation = None && a.update.op = Request.Insert then begin
+           (match
+              Validate.check_references info a.update.entry
+                ~exists:(fun ~table ~key value -> State.exists_value seen ~table ~key value)
+            with
+           | Ok () -> ()
+           | Error _ ->
+               Alcotest.failf "sweep insert has forward reference: %s"
+                 (Format.asprintf "%a" Entry.pp a.update.entry));
+           ignore (State.insert seen a.update.entry)
+         end))
+    sweep
+
+let () =
+  Alcotest.run "fuzzer"
+    [ ("generation",
+       [ Alcotest.test_case "deterministic" `Quick test_deterministic;
+         Alcotest.test_case "unmutated updates syntactic" `Quick
+           test_unmutated_updates_syntactic;
+         Alcotest.test_case "mutated updates are invalid" `Quick test_mutated_updates_invalid;
+         Alcotest.test_case "mutation diversity" `Quick test_mutation_diversity;
+         Alcotest.test_case "mirror tracks inserts" `Quick test_mirror_tracks_valid_inserts;
+         Alcotest.test_case "capacity respected" `Quick test_capacity_respected ]);
+      ("batching",
+       [ Alcotest.test_case "no duplicate keys" `Quick test_batch_no_duplicate_keys;
+         Alcotest.test_case "no internal dependencies" `Quick test_batch_no_internal_dependencies ]);
+      ("sweep",
+       [ Alcotest.test_case "covers all tables" `Quick test_sweep_covers_tables;
+         Alcotest.test_case "covers mutations per table" `Quick test_sweep_covers_mutations_per_table;
+         Alcotest.test_case "dependency order" `Quick test_sweep_respects_dependency_order ]) ]

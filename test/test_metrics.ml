@@ -1,0 +1,86 @@
+(* Tests for the §7 OKR metrics: a clean switch scores ~100% everywhere;
+   a fault against one table degrades that table's score and leaves
+   unrelated tables intact. *)
+
+module Stack = Switchv_switch.Stack
+module Fault = Switchv_switch.Fault
+module Workload = Switchv_sai.Workload
+module Middleblock = Switchv_sai.Middleblock
+module Metrics = Switchv_core.Metrics
+
+let check_bool = Alcotest.check Alcotest.bool
+
+let entries = Workload.generate ~seed:8 Middleblock.program Workload.small
+
+let collect ?faults () =
+  Metrics.collect ~batches:4 (fun () -> Stack.create ?faults Middleblock.program) entries
+
+let metric t table =
+  match List.find_opt (fun (m : Metrics.table_metric) -> m.tm_table = table) t with
+  | Some m -> m
+  | None -> Alcotest.failf "no metric row for %s" table
+
+let test_clean_scores () =
+  let t = collect () in
+  List.iter
+    (fun (m : Metrics.table_metric) ->
+      (match Metrics.fuzz_score m with
+      | Some s ->
+          check_bool (m.tm_table ^ " fuzz handled 100%") true (s = 1.0)
+      | None -> ());
+      match Metrics.behave_score m with
+      | Some s -> check_bool (m.tm_table ^ " behaves 100%") true (s = 1.0)
+      | None -> ())
+    t;
+  (* Every program table received fuzz traffic. *)
+  List.iter
+    (fun (ti : Switchv_p4ir.P4info.table) ->
+      check_bool (ti.ti_name ^ " fuzzed") true ((metric t ti.ti_name).tm_fuzzed > 0))
+    Middleblock.info.pi_tables
+
+let test_fault_degrades_target_table () =
+  let fault =
+    Fault.make ~id:"M1" ~component:Fault.P4runtime_server
+      (Fault.Reject_valid_insert "acl_ingress_table") "m"
+  in
+  let t = collect ~faults:[ fault ] () in
+  let acl = metric t "acl_ingress_table" in
+  (match Metrics.fuzz_score acl with
+  | Some s -> check_bool "acl fuzz score degraded" true (s < 1.0)
+  | None -> Alcotest.fail "acl not fuzzed");
+  (* An unrelated exact-match table is unaffected. *)
+  match Metrics.fuzz_score (metric t "nexthop_table") with
+  | Some s -> check_bool "nexthop unaffected" true (s = 1.0)
+  | None -> Alcotest.fail "nexthop not fuzzed"
+
+let test_data_fault_degrades_behaviour () =
+  let fault =
+    Fault.make ~id:"M2" ~component:Fault.Syncd (Fault.Syncd_drops_table "ipv4_table") "m"
+  in
+  let t = collect ~faults:[ fault ] () in
+  let ipv4 = metric t "ipv4_table" in
+  (match Metrics.behave_score ipv4 with
+  | Some s -> check_bool "ipv4 behaviour degraded" true (s < 1.0)
+  | None -> Alcotest.fail "ipv4 not covered");
+  check_bool "ipv4 entries counted" true (ipv4.tm_entries > 0)
+
+let test_feature_rollup () =
+  let t = collect () in
+  let f =
+    Metrics.feature t ~name:"routing" ~tables:[ "ipv4_table"; "ipv6_table" ]
+  in
+  let ipv4 = metric t "ipv4_table" and ipv6 = metric t "ipv6_table" in
+  Alcotest.check Alcotest.int "fuzzed adds up" (ipv4.tm_fuzzed + ipv6.tm_fuzzed)
+    f.tm_fuzzed;
+  Alcotest.check Alcotest.int "entries add up" (ipv4.tm_entries + ipv6.tm_entries)
+    f.tm_entries
+
+let () =
+  Alcotest.run "metrics"
+    [ ("okr",
+       [ Alcotest.test_case "clean switch scores 100%" `Slow test_clean_scores;
+         Alcotest.test_case "control fault degrades table" `Slow
+           test_fault_degrades_target_table;
+         Alcotest.test_case "data fault degrades behaviour" `Slow
+           test_data_fault_degrades_behaviour;
+         Alcotest.test_case "feature rollup" `Slow test_feature_rollup ]) ]

@@ -1,0 +1,309 @@
+(* Tests for the P4Runtime oracle: expectation classification, status
+   judgement, state reconciliation, and handling of under-specified
+   behaviours (§4.3). *)
+
+module Bitvec = Switchv_bitvec.Bitvec
+module Prefix = Switchv_bitvec.Prefix
+module Entry = Switchv_p4runtime.Entry
+module Request = Switchv_p4runtime.Request
+module State = Switchv_p4runtime.State
+module Status = Switchv_p4runtime.Status
+module Oracle = Switchv_oracle.Oracle
+module Figure2 = Switchv_sai.Figure2
+
+let check_bool = Alcotest.check Alcotest.bool
+let check_int = Alcotest.check Alcotest.int
+
+let info = Figure2.info
+
+let bv16 = Bitvec.of_int ~width:16
+let fm field value = { Entry.fm_field = field; fm_value = value }
+let single name args = Entry.Single { ai_name = name; ai_args = args }
+
+let vrf n =
+  Entry.make ~table:"vrf_table" ~matches:[ fm "vrf_id" (Entry.M_exact (bv16 n)) ]
+    (single "no_action" [])
+
+let route ?(vrf = 1) ?(prefix = "10.0.0.0/8") () =
+  Entry.make ~table:"ipv4_table"
+    ~matches:
+      [ fm "vrf_id" (Entry.M_exact (bv16 vrf));
+        fm "ipv4_dst" (Entry.M_lpm (Prefix.of_ipv4_string prefix)) ]
+    (single "set_nexthop_id" [ bv16 3 ])
+
+(* A perfectly behaving single-update exchange: status OK + consistent
+   read-back. *)
+let accept oracle u =
+  let read_back =
+    let s = State.copy (Oracle.observed oracle) in
+    (match u.Request.op with
+    | Request.Insert -> ignore (State.insert s u.entry)
+    | Request.Modify -> ignore (State.modify s u.entry)
+    | Request.Delete -> ignore (State.delete s u.entry));
+    { Request.entries = State.all s }
+  in
+  Oracle.judge_batch oracle [ u ] { Request.statuses = [ Status.ok ] } ~read_back
+
+let reject ?(code = Status.Invalid_argument) oracle u =
+  Oracle.judge_batch oracle [ u ]
+    { Request.statuses = [ Status.make code "rejected" ] }
+    ~read_back:{ Request.entries = State.all (Oracle.observed oracle) }
+
+(* --- classification ----------------------------------------------------------- *)
+
+let test_classify_valid_insert () =
+  let oracle = Oracle.create info in
+  check_bool "fresh valid insert must be accepted" true
+    (Oracle.classify oracle (Request.insert (vrf 1)) = Oracle.Must_accept)
+
+let test_classify_invalid () =
+  let oracle = Oracle.create info in
+  check_bool "constraint violation must be rejected" true
+    (match Oracle.classify oracle (Request.insert (vrf 0)) with
+    | Oracle.Must_reject _ -> true
+    | _ -> false);
+  check_bool "dangling reference must be rejected" true
+    (match Oracle.classify oracle (Request.insert (route ~vrf:5 ())) with
+    | Oracle.Must_reject _ -> true
+    | _ -> false);
+  check_bool "delete of non-existent must be rejected" true
+    (match Oracle.classify oracle (Request.delete (vrf 1)) with
+    | Oracle.Must_reject _ -> true
+    | _ -> false)
+
+let test_classify_duplicate_and_referenced () =
+  let oracle = Oracle.create info in
+  ignore (accept oracle (Request.insert (vrf 1)));
+  ignore (accept oracle (Request.insert (route ())));
+  check_bool "duplicate insert must be rejected" true
+    (match Oracle.classify oracle (Request.insert (vrf 1)) with
+    | Oracle.Must_reject _ -> true
+    | _ -> false);
+  check_bool "delete of referenced vrf must be rejected" true
+    (match Oracle.classify oracle (Request.delete (vrf 1)) with
+    | Oracle.Must_reject _ -> true
+    | _ -> false);
+  check_bool "delete of unreferenced route must be accepted" true
+    (Oracle.classify oracle (Request.delete (route ())) = Oracle.Must_accept)
+
+let test_classify_capacity () =
+  let oracle = Oracle.create info in
+  (* vrf_table size is 64; fill it. *)
+  for i = 1 to 64 do
+    ignore (accept oracle (Request.insert (vrf i)))
+  done;
+  check_bool "insert beyond guarantee is may-either" true
+    (match Oracle.classify oracle (Request.insert (vrf 65)) with
+    | Oracle.May_either _ -> true
+    | _ -> false)
+
+(* --- judgement ------------------------------------------------------------------ *)
+
+let test_clean_exchange_no_incidents () =
+  let oracle = Oracle.create info in
+  check_int "accepting a valid insert is fine" 0
+    (List.length (accept oracle (Request.insert (vrf 1))));
+  check_int "rejecting an invalid insert is fine" 0
+    (List.length (reject oracle (Request.insert (vrf 0))))
+
+let test_rejecting_valid_flagged () =
+  let oracle = Oracle.create info in
+  let incidents = reject oracle (Request.insert (vrf 1)) in
+  check_bool "status violation reported" true
+    (List.exists (fun (i : Oracle.incident) -> i.inc_kind = `Status_violation) incidents)
+
+let test_accepting_invalid_flagged () =
+  let oracle = Oracle.create info in
+  let u = Request.insert (vrf 0) in
+  let read_back =
+    let s = State.copy (Oracle.observed oracle) in
+    ignore (State.insert s u.entry);
+    { Request.entries = State.all s }
+  in
+  let incidents =
+    Oracle.judge_batch oracle [ u ] { Request.statuses = [ Status.ok ] } ~read_back
+  in
+  check_bool "status violation reported" true
+    (List.exists (fun (i : Oracle.incident) -> i.inc_kind = `Status_violation) incidents)
+
+let test_state_divergence_flagged () =
+  let oracle = Oracle.create info in
+  (* Switch claims OK but the entry never shows up in the read-back. *)
+  let incidents =
+    Oracle.judge_batch oracle
+      [ Request.insert (vrf 1) ]
+      { Request.statuses = [ Status.ok ] }
+      ~read_back:{ Request.entries = [] }
+  in
+  check_bool "state divergence reported" true
+    (List.exists (fun (i : Oracle.incident) -> i.inc_kind = `State_divergence) incidents)
+
+let test_modify_divergence_flagged () =
+  let oracle = Oracle.create info in
+  ignore (accept oracle (Request.insert (vrf 1)));
+  ignore (accept oracle (Request.insert (route ())));
+  (* Switch says OK to a modify but keeps the old action (the paper's
+     "MODIFY leaves old action parameters unchanged" bug). *)
+  let modified = { (route ()) with Entry.e_action = single "drop" [] } in
+  let incidents =
+    Oracle.judge_batch oracle
+      [ Request.modify modified ]
+      { Request.statuses = [ Status.ok ] }
+      ~read_back:{ Request.entries = State.all (Oracle.observed oracle) }
+  in
+  check_bool "divergence on stale action" true
+    (List.exists (fun (i : Oracle.incident) -> i.inc_kind = `State_divergence) incidents)
+
+let test_unresponsive_flagged () =
+  let oracle = Oracle.create info in
+  let us = [ Request.insert (vrf 1); Request.insert (vrf 2) ] in
+  let incidents =
+    Oracle.judge_batch oracle us
+      { Request.statuses =
+          [ Status.make Status.Unavailable "down"; Status.make Status.Unavailable "down" ] }
+      ~read_back:{ Request.entries = [] }
+  in
+  check_bool "unresponsive reported" true
+    (List.exists (fun (i : Oracle.incident) -> i.inc_kind = `Unresponsive) incidents)
+
+let test_resource_rejection_at_capacity_ok () =
+  let oracle = Oracle.create info in
+  for i = 1 to 64 do
+    ignore (accept oracle (Request.insert (vrf i)))
+  done;
+  check_int "rejection beyond guarantee tolerated" 0
+    (List.length (reject ~code:Status.Resource_exhausted oracle (Request.insert (vrf 65))));
+  (* And acceptance beyond the guarantee is fine too (under-specified). *)
+  check_int "acceptance beyond guarantee tolerated" 0
+    (List.length (accept oracle (Request.insert (vrf 65))))
+
+let test_mid_batch_capacity_tolerated () =
+  (* A batch that could take a table past its guarantee may have any of its
+     inserts rejected (execution order unspecified). vrf size 64: install
+     60, then a batch of 8 where the last ones get RESOURCE_EXHAUSTED. *)
+  let oracle = Oracle.create info in
+  for i = 1 to 60 do
+    ignore (accept oracle (Request.insert (vrf i)))
+  done;
+  let us = List.init 8 (fun i -> Request.insert (vrf (61 + i))) in
+  let statuses =
+    List.init 8 (fun i ->
+        if i < 4 then Status.ok else Status.make Status.Resource_exhausted "full")
+  in
+  let read_back =
+    let s = State.copy (Oracle.observed oracle) in
+    List.iteri (fun i u -> if i < 4 then ignore (State.insert s u.Request.entry)) us;
+    { Request.entries = State.all s }
+  in
+  let incidents = Oracle.judge_batch oracle us { Request.statuses } ~read_back in
+  check_int "no incidents for mid-batch capacity" 0 (List.length incidents)
+
+let test_oracle_adopts_switch_state () =
+  (* After judging, the oracle proceeds from the switch's claimed state
+     (§4.3: forget the prior state). *)
+  let oracle = Oracle.create info in
+  ignore
+    (Oracle.judge_batch oracle
+       [ Request.insert (vrf 1) ]
+       { Request.statuses = [ Status.ok ] }
+       ~read_back:{ Request.entries = [ vrf 1; vrf 2 ] });
+  (* vrf 2 appeared out of nowhere (divergence flagged), but the oracle now
+     treats it as present: inserting it again must be a duplicate. *)
+  check_bool "baseline adopted" true
+    (match Oracle.classify oracle (Request.insert (vrf 2)) with
+    | Oracle.Must_reject _ -> true
+    | _ -> false)
+
+(* Property: judgement completeness. Take a clean exchange over a batch of
+   decisively-classified updates; flipping any single status (or dropping
+   any single entry from the read-back) must produce an incident. *)
+let prop_single_corruption_detected =
+  QCheck.Test.make ~name:"any single corruption is flagged" ~count:50
+    (QCheck.make QCheck.Gen.(int_bound 0xFFFF) ~print:string_of_int)
+    (fun seed ->
+      let rng = Switchv_bitvec.Rng.create seed in
+      let n = 3 + Switchv_bitvec.Rng.int rng 5 in
+      (* Batch: n fresh vrf inserts (must-accept) + one vrf-0 insert
+         (must-reject). *)
+      let updates =
+        List.init n (fun i -> Request.insert (vrf (i + 1)))
+        @ [ Request.insert (vrf 0) ]
+      in
+      let honest_statuses =
+        List.init n (fun _ -> Status.ok) @ [ Status.make Status.Invalid_argument "bad" ]
+      in
+      let honest_read =
+        { Request.entries = List.init n (fun i -> vrf (i + 1)) }
+      in
+      (* Honest exchange: clean. *)
+      let clean =
+        Oracle.judge_batch (Oracle.create info) updates
+          { Request.statuses = honest_statuses } ~read_back:honest_read
+      in
+      if clean <> [] then false
+      else begin
+        (* Flip one status. *)
+        let k = Switchv_bitvec.Rng.int rng (n + 1) in
+        let flipped =
+          List.mapi
+            (fun i s ->
+              if i <> k then s
+              else if Status.is_ok s then Status.make Status.Unknown "flipped"
+              else Status.ok)
+            honest_statuses
+        in
+        (* The read-back stays consistent with the flipped statuses, so the
+           corruption is visible only through the status discipline. *)
+        let read =
+          { Request.entries =
+              List.filteri (fun i _ -> i <> k) (List.init n (fun i -> vrf (i + 1)))
+              @ (if k = n then [ vrf 0 ] else []) }
+        in
+        let incidents =
+          Oracle.judge_batch (Oracle.create info) updates
+            { Request.statuses = flipped } ~read_back:read
+        in
+        incidents <> []
+      end)
+
+let prop_readback_corruption_detected =
+  QCheck.Test.make ~name:"read-back omissions are flagged" ~count:50
+    (QCheck.make QCheck.Gen.(int_bound 0xFFFF) ~print:string_of_int)
+    (fun seed ->
+      let rng = Switchv_bitvec.Rng.create seed in
+      let n = 2 + Switchv_bitvec.Rng.int rng 6 in
+      let updates = List.init n (fun i -> Request.insert (vrf (i + 1))) in
+      let statuses = List.init n (fun _ -> Status.ok) in
+      let k = Switchv_bitvec.Rng.int rng n in
+      let read =
+        { Request.entries =
+            List.filteri (fun i _ -> i <> k) (List.init n (fun i -> vrf (i + 1))) }
+      in
+      let incidents =
+        Oracle.judge_batch (Oracle.create info) updates { Request.statuses }
+          ~read_back:read
+      in
+      List.exists (fun (i : Oracle.incident) -> i.inc_kind = `State_divergence) incidents)
+
+let () =
+  Alcotest.run "oracle"
+    [ ("classification",
+       [ Alcotest.test_case "valid insert" `Quick test_classify_valid_insert;
+         Alcotest.test_case "invalid requests" `Quick test_classify_invalid;
+         Alcotest.test_case "duplicates and references" `Quick
+           test_classify_duplicate_and_referenced;
+         Alcotest.test_case "capacity" `Quick test_classify_capacity ]);
+      ("judgement",
+       [ Alcotest.test_case "clean exchange" `Quick test_clean_exchange_no_incidents;
+         Alcotest.test_case "rejecting valid" `Quick test_rejecting_valid_flagged;
+         Alcotest.test_case "accepting invalid" `Quick test_accepting_invalid_flagged;
+         Alcotest.test_case "state divergence" `Quick test_state_divergence_flagged;
+         Alcotest.test_case "stale modify" `Quick test_modify_divergence_flagged;
+         Alcotest.test_case "unresponsive" `Quick test_unresponsive_flagged;
+         Alcotest.test_case "capacity rejection ok" `Quick
+           test_resource_rejection_at_capacity_ok;
+         Alcotest.test_case "mid-batch capacity" `Quick test_mid_batch_capacity_tolerated;
+         Alcotest.test_case "adopts switch state" `Quick test_oracle_adopts_switch_state ]);
+      ("properties",
+       [ QCheck_alcotest.to_alcotest prop_single_corruption_detected;
+         QCheck_alcotest.to_alcotest prop_readback_corruption_detected ]) ]

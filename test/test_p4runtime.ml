@@ -1,0 +1,259 @@
+(* Tests for the P4Runtime substrate: entries, state, and validation
+   (syntactic validity, constraint compliance, referential integrity) —
+   §4 "Valid and Invalid Requests". *)
+
+module Bitvec = Switchv_bitvec.Bitvec
+module Prefix = Switchv_bitvec.Prefix
+module Ternary = Switchv_bitvec.Ternary
+module Entry = Switchv_p4runtime.Entry
+module State = Switchv_p4runtime.State
+module Status = Switchv_p4runtime.Status
+module Validate = Switchv_p4runtime.Validate
+module Request = Switchv_p4runtime.Request
+module P4info = Switchv_p4ir.P4info
+module Figure2 = Switchv_sai.Figure2
+module Middleblock = Switchv_sai.Middleblock
+
+let check_bool = Alcotest.check Alcotest.bool
+let check_int = Alcotest.check Alcotest.int
+
+let info = Figure2.info
+let mb = Middleblock.info
+
+let bv16 = Bitvec.of_int ~width:16
+let fm field value = { Entry.fm_field = field; fm_value = value }
+let single name args = Entry.Single { ai_name = name; ai_args = args }
+
+let vrf n =
+  Entry.make ~table:"vrf_table" ~matches:[ fm "vrf_id" (Entry.M_exact (bv16 n)) ]
+    (single "no_action" [])
+
+let route ?(vrf = 1) ?(prefix = "10.0.0.0/8") ?(nexthop = 3) () =
+  Entry.make ~table:"ipv4_table"
+    ~matches:
+      [ fm "vrf_id" (Entry.M_exact (bv16 vrf));
+        fm "ipv4_dst" (Entry.M_lpm (Prefix.of_ipv4_string prefix)) ]
+    (single "set_nexthop_id" [ bv16 nexthop ])
+
+(* --- entry identity -------------------------------------------------------- *)
+
+let test_match_key_order_insensitive () =
+  let a =
+    Entry.make ~table:"t"
+      ~matches:[ fm "x" (Entry.M_exact (bv16 1)); fm "y" (Entry.M_exact (bv16 2)) ]
+      (single "a" [])
+  in
+  let b =
+    Entry.make ~table:"t"
+      ~matches:[ fm "y" (Entry.M_exact (bv16 2)); fm "x" (Entry.M_exact (bv16 1)) ]
+      (single "b" [])
+  in
+  check_bool "same key regardless of order and action" true (Entry.equal_key a b);
+  check_bool "not fully equal (actions differ)" false (Entry.equal a b)
+
+let test_priority_in_key () =
+  let a = Entry.make ~priority:1 ~table:"t" ~matches:[] (single "a" []) in
+  let b = Entry.make ~priority:2 ~table:"t" ~matches:[] (single "a" []) in
+  check_bool "different priorities are different entries" false (Entry.equal_key a b)
+
+(* --- state ------------------------------------------------------------------ *)
+
+let test_state_insert_delete () =
+  let s = State.create () in
+  check_bool "insert" true (State.insert s (vrf 1) |> Result.is_ok);
+  check_bool "duplicate insert rejected" true
+    (match State.insert s (vrf 1) with
+    | Error e -> e.Status.code = Status.Already_exists
+    | Ok () -> false);
+  check_int "count" 1 (State.count s "vrf_table");
+  check_bool "delete" true (State.delete s (vrf 1) |> Result.is_ok);
+  check_bool "delete again fails" true
+    (match State.delete s (vrf 1) with
+    | Error e -> e.Status.code = Status.Not_found
+    | Ok () -> false)
+
+let test_state_modify () =
+  let s = State.create () in
+  ignore (State.insert s (route ~nexthop:3 ()));
+  check_bool "modify existing" true (State.modify s (route ~nexthop:7 ()) |> Result.is_ok);
+  (match State.find s (route ()) with
+  | Some e ->
+      check_bool "action updated" true
+        (match e.e_action with
+        | Entry.Single { ai_args = [ v ]; _ } -> Bitvec.to_int_exn v = 7
+        | _ -> false)
+  | None -> Alcotest.fail "entry vanished");
+  check_bool "modify missing fails" true
+    (State.modify s (route ~prefix:"11.0.0.0/8" ()) |> Result.is_error)
+
+let test_state_insertion_order () =
+  let s = State.create () in
+  ignore (State.insert s (route ~prefix:"10.0.0.0/8" ()));
+  ignore (State.insert s (route ~prefix:"10.1.0.0/16" ()));
+  ignore (State.insert s (route ~prefix:"10.2.0.0/16" ()));
+  let prefixes =
+    List.map
+      (fun (e : Entry.t) ->
+        match Entry.find_match e "ipv4_dst" with
+        | Some (Entry.M_lpm p) -> Prefix.to_ipv4_string p
+        | _ -> "?")
+      (State.entries_of s "ipv4_table")
+  in
+  check_bool "insertion order preserved" true
+    (prefixes = [ "10.0.0.0/8"; "10.1.0.0/16"; "10.2.0.0/16" ])
+
+let test_state_references () =
+  let s = State.create () in
+  ignore (State.insert s (vrf 1));
+  ignore (State.insert s (route ~vrf:1 ()));
+  check_bool "vrf 1 exists" true (State.exists_value s ~table:"vrf_table" ~key:"vrf_id" (bv16 1));
+  check_bool "vrf 2 does not" false
+    (State.exists_value s ~table:"vrf_table" ~key:"vrf_id" (bv16 2));
+  check_bool "vrf 1 is referenced by the route" true
+    (State.is_referenced s info (vrf 1));
+  ignore (State.delete s (route ~vrf:1 ()));
+  check_bool "unreferenced after route removal" false (State.is_referenced s info (vrf 1))
+
+let test_state_equal_diff () =
+  let a = State.create () and b = State.create () in
+  ignore (State.insert a (vrf 1));
+  ignore (State.insert b (vrf 1));
+  check_bool "equal" true (State.equal a b);
+  ignore (State.insert b (vrf 2));
+  check_bool "not equal" false (State.equal a b);
+  check_int "one difference" 1 (List.length (State.diff a b));
+  let c = State.copy b in
+  check_bool "copy equal" true (State.equal b c);
+  ignore (State.delete c (vrf 2));
+  check_bool "copy independent" false (State.equal b c)
+
+(* --- syntactic validation (Figure 3 verdicts) -------------------------------- *)
+
+let test_figure3_valid () =
+  List.iter
+    (fun e ->
+      match Validate.check_entry info e with
+      | Ok () -> ()
+      | Error s -> Alcotest.failf "expected valid, got %s" (Format.asprintf "%a" Status.pp s))
+    Figure2.figure3_valid
+
+let test_figure3_invalid () =
+  (* v2, v3, i3, i4 are state-independently invalid; i2 dangles. *)
+  List.iter
+    (fun (label, e) ->
+      check_bool (label ^ " rejected") true (Validate.check_entry info e |> Result.is_error))
+    [ ("v2", Figure2.v2); ("v3", Figure2.v3); ("i3", Figure2.i3); ("i4", Figure2.i4) ];
+  let s = State.create () in
+  ignore (State.insert s (vrf 1));
+  check_bool "i2 dangles" true
+    (Validate.check_references info Figure2.i2
+       ~exists:(fun ~table ~key value -> State.exists_value s ~table ~key value)
+    |> Result.is_error);
+  check_bool "i1 resolves" true
+    (Validate.check_references info Figure2.i1
+       ~exists:(fun ~table ~key value -> State.exists_value s ~table ~key value)
+    |> Result.is_ok)
+
+let test_syntactic_details () =
+  let reject label e =
+    check_bool (label ^ " rejected") true (Validate.syntactic mb e |> Result.is_error)
+  in
+  reject "unknown table"
+    (Entry.make ~table:"ghost" ~matches:[] (single "no_action" []));
+  reject "duplicate match field"
+    (Entry.make ~table:"vrf_table"
+       ~matches:[ fm "vrf_id" (Entry.M_exact (bv16 1)); fm "vrf_id" (Entry.M_exact (bv16 2)) ]
+       (single "no_action" []));
+  reject "missing mandatory exact field"
+    (Entry.make ~table:"vrf_table" ~matches:[] (single "no_action" []));
+  reject "priority on exact table"
+    (Entry.make ~priority:5 ~table:"vrf_table"
+       ~matches:[ fm "vrf_id" (Entry.M_exact (bv16 1)) ]
+       (single "no_action" []));
+  reject "missing priority on ternary table"
+    (Entry.make ~table:"acl_ingress_table"
+       ~matches:[ fm "is_ipv4" (Entry.M_ternary (Ternary.exact (Bitvec.of_int ~width:1 1))) ]
+       (single "drop" []));
+  reject "single action on selector table"
+    (Entry.make ~table:"wcmp_group_table"
+       ~matches:[ fm "wcmp_group_id" (Entry.M_exact (bv16 1)) ]
+       (single "set_nexthop_id" [ bv16 1 ]));
+  reject "action set on plain table"
+    (Entry.make ~table:"vrf_table"
+       ~matches:[ fm "vrf_id" (Entry.M_exact (bv16 1)) ]
+       (Entry.Weighted [ ({ ai_name = "no_action"; ai_args = [] }, 1) ]));
+  reject "zero selector weight"
+    (Entry.make ~table:"wcmp_group_table"
+       ~matches:[ fm "wcmp_group_id" (Entry.M_exact (bv16 1)) ]
+       (Entry.Weighted [ ({ ai_name = "set_nexthop_id"; ai_args = [ bv16 1 ] }, 0) ]));
+  reject "wildcard ternary must be omitted"
+    (Entry.make ~priority:1 ~table:"acl_ingress_table"
+       ~matches:[ fm "is_ipv4" (Entry.M_ternary (Ternary.wildcard 1)) ]
+       (single "drop" []));
+  reject "zero-length lpm must be omitted"
+    (Entry.make ~table:"ipv4_table"
+       ~matches:
+         [ fm "vrf_id" (Entry.M_exact (bv16 1));
+           fm "ipv4_dst" (Entry.M_lpm (Prefix.any 32)) ]
+       (single "drop" []))
+
+let test_constraint_compliance () =
+  let ti = Option.get (P4info.find_table mb "vrf_table") in
+  check_bool "vrf 1 compliant" true (Validate.constraint_compliant ti (vrf 1) = Ok true);
+  check_bool "vrf 0 violates" true (Validate.constraint_compliant ti (vrf 0) = Ok false)
+
+let test_references_via_action_args () =
+  (* set_nexthop_id's parameter refers to nexthop_table. *)
+  let e =
+    Entry.make ~table:"ipv4_table"
+      ~matches:
+        [ fm "vrf_id" (Entry.M_exact (bv16 1));
+          fm "ipv4_dst" (Entry.M_lpm (Prefix.of_ipv4_string "10.0.0.0/8")) ]
+      (single "set_nexthop_id" [ bv16 9 ])
+  in
+  let refs = Validate.references mb e in
+  check_int "two references (vrf key + nexthop arg)" 2 (List.length refs);
+  check_bool "nexthop reference present" true
+    (List.exists
+       (fun (r : Validate.reference) ->
+         r.ref_table = "nexthop_table" && Bitvec.to_int_exn r.ref_value = 9)
+       refs)
+
+let test_weighted_references () =
+  let e =
+    Entry.make ~table:"wcmp_group_table"
+      ~matches:[ fm "wcmp_group_id" (Entry.M_exact (bv16 1)) ]
+      (Entry.Weighted
+         [ ({ ai_name = "set_nexthop_id"; ai_args = [ bv16 4 ] }, 1);
+           ({ ai_name = "set_nexthop_id"; ai_args = [ bv16 5 ] }, 2) ])
+  in
+  check_int "references from every member" 2 (List.length (Validate.references mb e))
+
+let test_request_helpers () =
+  let u = Request.insert (vrf 1) in
+  check_bool "insert op" true (u.op = Request.Insert);
+  check_bool "write_ok all ok" true
+    (Request.write_ok { statuses = [ Status.ok; Status.ok ] });
+  check_bool "write_ok fails on error" false
+    (Request.write_ok
+       { statuses = [ Status.ok; Status.make Status.Not_found "x" ] })
+
+let () =
+  Alcotest.run "p4runtime"
+    [ ("entry",
+       [ Alcotest.test_case "match key order" `Quick test_match_key_order_insensitive;
+         Alcotest.test_case "priority in key" `Quick test_priority_in_key ]);
+      ("state",
+       [ Alcotest.test_case "insert/delete" `Quick test_state_insert_delete;
+         Alcotest.test_case "modify" `Quick test_state_modify;
+         Alcotest.test_case "insertion order" `Quick test_state_insertion_order;
+         Alcotest.test_case "references" `Quick test_state_references;
+         Alcotest.test_case "equality and diff" `Quick test_state_equal_diff ]);
+      ("validate",
+       [ Alcotest.test_case "figure 3 valid entries" `Quick test_figure3_valid;
+         Alcotest.test_case "figure 3 invalid entries" `Quick test_figure3_invalid;
+         Alcotest.test_case "syntactic corner cases" `Quick test_syntactic_details;
+         Alcotest.test_case "constraint compliance" `Quick test_constraint_compliance;
+         Alcotest.test_case "action-arg references" `Quick test_references_via_action_args;
+         Alcotest.test_case "weighted references" `Quick test_weighted_references;
+         Alcotest.test_case "request helpers" `Quick test_request_helpers ]) ]

@@ -1,0 +1,131 @@
+(* Tests for headers, packet construction, serialisation, and address
+   parsing. *)
+
+module Bitvec = Switchv_bitvec.Bitvec
+module Rng = Switchv_bitvec.Rng
+module Header = Switchv_packet.Header
+module Packet = Switchv_packet.Packet
+
+let check_int = Alcotest.check Alcotest.int
+let check_bool = Alcotest.check Alcotest.bool
+let check_string = Alcotest.check Alcotest.string
+
+let test_header_widths () =
+  check_int "ethernet is 14 bytes" (14 * 8) (Header.width Header.ethernet);
+  check_int "ipv4 is 20 bytes" (20 * 8) (Header.width Header.ipv4);
+  check_int "ipv6 is 40 bytes" (40 * 8) (Header.width Header.ipv6);
+  check_int "tcp is 20 bytes" (20 * 8) (Header.width Header.tcp);
+  check_int "udp is 8 bytes" (8 * 8) (Header.width Header.udp);
+  check_int "icmp is 8 bytes" (8 * 8) (Header.width Header.icmp);
+  check_int "vlan tag is 4 bytes" (4 * 8) (Header.width Header.vlan)
+
+let test_field_lookup () =
+  check_int "ipv4 ttl" 8 (Header.field_width Header.ipv4 "ttl");
+  check_int "ipv6 dst" 128 (Header.field_width Header.ipv6 "dst_addr");
+  check_bool "has_field" true (Header.has_field Header.tcp "dst_port");
+  check_bool "no such field" false (Header.has_field Header.tcp "ttl");
+  Alcotest.check_raises "unknown field raises" Not_found (fun () ->
+      ignore (Header.field_width Header.ipv4 "nope"))
+
+let test_standard_registry () =
+  check_int "nine standard headers" 9 (List.length Header.standard);
+  check_bool "find ipv4" true (Header.find_standard "ipv4" <> None);
+  check_bool "find nothing" true (Header.find_standard "mpls" = None)
+
+let test_mac_parse () =
+  let mac = Packet.mac_of_string "02:0a:0b:0c:0d:0e" in
+  check_int "width" 48 (Bitvec.width mac);
+  check_string "hex" "020a0b0c0d0e" (Bitvec.to_hex_string mac)
+
+let test_ipv4_parse () =
+  let ip = Packet.ipv4_of_string "10.1.2.3" in
+  check_string "hex" "0a010203" (Bitvec.to_hex_string ip)
+
+let test_ipv6_parse () =
+  let ip = Packet.ipv6_of_string "2001:db8::1" in
+  check_string "hex" "20010db8000000000000000000000001" (Bitvec.to_hex_string ip);
+  let full = Packet.ipv6_of_string "1:2:3:4:5:6:7:8" in
+  check_string "full form" "00010002000300040005000600070008" (Bitvec.to_hex_string full);
+  let trailing = Packet.ipv6_of_string "fe80::" in
+  check_string "trailing ::" "fe800000000000000000000000000000"
+    (Bitvec.to_hex_string trailing)
+
+let test_build_and_serialize () =
+  let p = Packet.simple_ipv4 ~src:"192.0.2.1" ~dst:"198.51.100.9" () in
+  let bytes = Packet.to_bytes p in
+  (* 14 (eth) + 20 (ipv4) + 8 (udp) + payload *)
+  check_int "wire length" (14 + 20 + 8 + String.length p.payload) (String.length bytes);
+  (* Ether type at offset 12. *)
+  check_int "ether_type" 0x08 (Char.code bytes.[12]);
+  check_int "ether_type lo" 0x00 (Char.code bytes.[13]);
+  (* IPv4 dst at offset 14+16. *)
+  check_int "dst first octet" 198 (Char.code bytes.[30]);
+  check_int "dst last octet" 9 (Char.code bytes.[33])
+
+let test_get_set () =
+  let p = Packet.simple_ipv4 ~src:"192.0.2.1" ~dst:"198.51.100.9" () in
+  let ttl = Packet.get_exn p ~header:"ipv4" ~field:"ttl" in
+  check_int "default ttl" 64 (Bitvec.to_int_exn ttl);
+  let p = Packet.set p ~header:"ipv4" ~field:"ttl" (Bitvec.of_int ~width:8 5) in
+  check_int "updated ttl" 5
+    (Bitvec.to_int_exn (Packet.get_exn p ~header:"ipv4" ~field:"ttl"));
+  check_bool "missing header" true (Packet.get p ~header:"gre" ~field:"flags" = None);
+  Alcotest.check_raises "width mismatch rejected"
+    (Invalid_argument "Packet.set: ipv4.ttl width mismatch") (fun () ->
+      ignore (Packet.set p ~header:"ipv4" ~field:"ttl" (Bitvec.of_int ~width:16 5)))
+
+let test_instance_validation () =
+  Alcotest.check_raises "missing field rejected"
+    (Invalid_argument "Packet.instance: udp expects 4 fields, got 1") (fun () ->
+      ignore (Packet.instance Header.udp [ ("src_port", Bitvec.of_int ~width:16 1) ]))
+
+let test_remove_header () =
+  let p = Packet.simple_ipv4 ~src:"192.0.2.1" ~dst:"198.51.100.9" () in
+  let p' = Packet.remove_header p "udp" in
+  check_bool "udp gone" false (Packet.has_header p' "udp");
+  check_bool "ipv4 stays" true (Packet.has_header p' "ipv4");
+  check_int "two headers left" 2 (List.length p'.headers)
+
+let test_equal () =
+  let a = Packet.simple_ipv4 ~src:"192.0.2.1" ~dst:"198.51.100.9" () in
+  let b = Packet.simple_ipv4 ~src:"192.0.2.1" ~dst:"198.51.100.9" () in
+  check_bool "structurally equal" true (Packet.equal a b);
+  let c = Packet.set a ~header:"ipv4" ~field:"ttl" (Bitvec.of_int ~width:8 9) in
+  check_bool "differs after set" false (Packet.equal a c);
+  check_bool "compare equal" true (Packet.compare a b = 0);
+  check_bool "hash equal" true (Packet.hash a = Packet.hash b)
+
+(* Property: serialisation length is always the sum of header widths plus
+   payload, and serialisation is deterministic. *)
+let prop_serialize_deterministic =
+  QCheck.Test.make ~name:"serialization deterministic" ~count:100
+    (QCheck.make
+       QCheck.Gen.(int_bound 0xFFFFFF)
+       ~print:string_of_int)
+    (fun seed ->
+      let rng = Rng.create seed in
+      let src =
+        Printf.sprintf "%d.%d.%d.%d" (Rng.int rng 256) (Rng.int rng 256)
+          (Rng.int rng 256) (Rng.int rng 256)
+      in
+      let p = Packet.simple_ipv4 ~ttl:(Rng.int rng 256) ~src ~dst:"10.0.0.1" () in
+      let b1 = Packet.to_bytes p and b2 = Packet.to_bytes p in
+      String.equal b1 b2 && String.length b1 = 42 + String.length p.payload)
+
+let () =
+  Alcotest.run "packet"
+    [ ("headers",
+       [ Alcotest.test_case "widths" `Quick test_header_widths;
+         Alcotest.test_case "field lookup" `Quick test_field_lookup;
+         Alcotest.test_case "registry" `Quick test_standard_registry ]);
+      ("addresses",
+       [ Alcotest.test_case "mac" `Quick test_mac_parse;
+         Alcotest.test_case "ipv4" `Quick test_ipv4_parse;
+         Alcotest.test_case "ipv6" `Quick test_ipv6_parse ]);
+      ("packets",
+       [ Alcotest.test_case "build and serialize" `Quick test_build_and_serialize;
+         Alcotest.test_case "get/set" `Quick test_get_set;
+         Alcotest.test_case "instance validation" `Quick test_instance_validation;
+         Alcotest.test_case "remove header" `Quick test_remove_header;
+         Alcotest.test_case "equality" `Quick test_equal ]);
+      ("properties", [ QCheck_alcotest.to_alcotest prop_serialize_deterministic ]) ]
