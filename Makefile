@@ -1,11 +1,17 @@
 # Convenience targets; everything is plain dune underneath.
 
-.PHONY: all build test bench bench-quick micro examples clean
+.PHONY: all build check test bench bench-quick micro examples clean
 
 all: build
 
 build:
 	dune build @all
+
+# CI entry point: everything (library, CLI, bench, examples, tests) compiles
+# with the dev profile's warnings-as-errors, and the whole suite passes.
+check:
+	dune build @all
+	dune runtest
 
 test:
 	dune runtest

@@ -37,6 +37,7 @@ module State = Switchv_p4runtime.State
 module Status = Switchv_p4runtime.Status
 module Rng = Switchv_bitvec.Rng
 module Bitvec = Switchv_bitvec.Bitvec
+module Telemetry = Switchv_telemetry.Telemetry
 
 let quick = ref false
 
@@ -280,7 +281,7 @@ let table3 () =
         cold.ds_generation_time warm.ds_generation_time cold.ds_testing_time paper;
       Printf.printf "%-20s %8s   goals %d, covered %d, uncoverable %d%s\n" "" ""
         cold.ds_goals cold.ds_covered cold.ds_uncoverable
-        (if warm.ds_from_cache then "  [second run served from cache]" else ""))
+        (if warm.ds_cache_hits > 0 then "  [second run served from cache]" else ""))
     rows;
   (* Fuzzer throughput. *)
   Printf.printf "\n%-20s %15s %10s   %s\n" "P4 Prog." "Fuzzed Entries" "Entries/s"
@@ -590,7 +591,12 @@ let () =
   let selected = if args = [] then all else args in
   let t0 = now () in
   List.iter
-    (function
+    (fun artifact ->
+      (* Per-artifact telemetry: reset so each snapshot covers one artifact,
+         and emit it as one machine-readable JSON line for trend tracking. *)
+      Telemetry.reset (Telemetry.get ());
+      let known = ref true in
+      (match artifact with
       | "table1" -> table1 ()
       | "table2" -> table2 ()
       | "table3" -> table3 ()
@@ -598,8 +604,12 @@ let () =
       | "ablations" -> ablations ()
       | "micro" -> micro ()
       | other ->
+          known := false;
           Printf.printf
             "unknown artifact %S (use table1|table2|table3|figure7|ablations|micro|quick)\n"
-            other)
+            other);
+      if !known then
+        Printf.printf "\ntelemetry %s %s\n" artifact
+          (Telemetry.snapshot_to_json (Telemetry.snapshot (Telemetry.get ()))))
     selected;
   Printf.printf "\ntotal bench time: %.1fs\n" (now () -. t0)

@@ -26,6 +26,7 @@ module Trivial_suite = Switchv_core.Trivial_suite
 module Symexec = Switchv_symbolic.Symexec
 module Packetgen = Switchv_symbolic.Packetgen
 module Cache = Switchv_symbolic.Cache
+module Telemetry = Switchv_telemetry.Telemetry
 
 open Cmdliner
 
@@ -100,6 +101,23 @@ let cache_dir_arg =
   let doc = "Directory for the p4-symbolic packet cache (omit for no caching)." in
   Arg.(value & opt (some string) None & info [ "cache-dir" ] ~docv:"DIR" ~doc)
 
+let trace_file_arg =
+  let doc =
+    "Write a JSONL span trace of the run to $(docv) (one event per line; see \
+     the Observability section of the README for the schema)."
+  in
+  Arg.(value & opt (some string) None & info [ "trace" ] ~docv:"FILE" ~doc)
+
+(* Run [f] with telemetry trace events mirrored to [file], if given. *)
+let with_trace file f =
+  match file with
+  | None -> f ()
+  | Some path ->
+      let oc = open_out path in
+      Fun.protect
+        ~finally:(fun () -> close_out oc)
+        (fun () -> Telemetry.with_trace_channel (Telemetry.get ()) oc f)
+
 let workload program scale seed =
   Workload.generate ~seed program (Workload.scaled scale Workload.inst1)
 
@@ -115,7 +133,7 @@ let resolve_faults program entries ids =
 (* --- validate ------------------------------------------------------------- *)
 
 let validate_cmd =
-  let run program seed scale fault_ids batches cache_dir =
+  let run program seed scale fault_ids batches cache_dir trace_file =
     let entries = workload program scale seed in
     let faults = resolve_faults program entries fault_ids in
     let mk () = Stack.create ~faults program in
@@ -124,7 +142,7 @@ let validate_cmd =
         control = { Control_campaign.default_config with batches; seed };
         cache = Option.map Cache.on_disk cache_dir }
     in
-    let report = Harness.validate mk config in
+    let report = with_trace trace_file (fun () -> Harness.validate mk config) in
     Format.printf "%a@." Report.pp report;
     if Report.clean report then Ok () else Error (false, "incidents reported")
   in
@@ -133,11 +151,12 @@ let validate_cmd =
     (Cmd.info "validate" ~doc)
     Term.(
       term_result' ~usage:false
-        (const (fun p s sc f b c ->
-             match run p s sc f b c with
+        (const (fun p s sc f b c t ->
+             match run p s sc f b c t with
              | Ok () -> Ok ()
              | Error (_, m) -> Error m)
-        $ model_arg $ seed_arg $ scale_arg $ faults_arg $ batches_arg $ cache_dir_arg))
+        $ model_arg $ seed_arg $ scale_arg $ faults_arg $ batches_arg $ cache_dir_arg
+        $ trace_file_arg))
 
 (* --- fuzz ------------------------------------------------------------------- *)
 

@@ -44,4 +44,15 @@ let () =
   Format.printf "%a@." Report.pp buggy_report;
   (match Report.detected_by buggy_report with
   | Some d -> Printf.printf "detected by %s\n" (Report.detector_to_string d)
-  | None -> print_endline "NOT DETECTED (unexpected)")
+  | None -> print_endline "NOT DETECTED (unexpected)");
+
+  (* Archive both reports the way the nightly job would: one JSON line per
+     run, appended to a log that dashboards can ingest. *)
+  let archive = Filename.temp_file "switchv_nightly" ".jsonl" in
+  let oc = open_out archive in
+  output_string oc (Report.to_json clean_report);
+  output_char oc '\n';
+  output_string oc (Report.to_json buggy_report);
+  output_char oc '\n';
+  close_out oc;
+  Printf.printf "archived 2 reports to %s\n" archive

@@ -4,6 +4,7 @@ module Oracle = Switchv_oracle.Oracle
 module Request = Switchv_p4runtime.Request
 module Status = Switchv_p4runtime.Status
 module Rng = Switchv_bitvec.Rng
+module Telemetry = Switchv_telemetry.Telemetry
 
 type config = {
   batches : int;
@@ -31,7 +32,8 @@ let run ?(push_p4info = true) stack config =
        add Report.Fuzzer "p4info rejected"
          (Format.asprintf "Set P4Info failed: %a" Status.pp s)
    end);
-  if !incidents = [] then begin
+  if !incidents = [] then
+    Telemetry.with_span (Telemetry.get ()) "campaign.control" (fun () ->
     let fuzzer = Fuzzer.create ~config:config.fuzzer_config (Stack.info stack) (Rng.create config.seed) in
     let oracle = Oracle.create (Stack.info stack) in
     let process annotated =
@@ -73,8 +75,7 @@ let run ?(push_p4info = true) stack config =
          if List.length !incidents >= config.max_incidents then raise Exit;
          process (Fuzzer.next_batch fuzzer)
        done
-     with Exit -> ())
-  end;
+     with Exit -> ()));
   let stats =
     { Report.cs_batches = !n_batches;
       cs_updates = !n_updates;

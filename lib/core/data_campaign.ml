@@ -10,6 +10,7 @@ module Cache = Switchv_symbolic.Cache
 module Workload = Switchv_sai.Workload
 module Packet = Switchv_packet.Packet
 module Term = Switchv_smt.Term
+module Telemetry = Switchv_telemetry.Telemetry
 
 type config = {
   entries : Entry.t list;
@@ -148,24 +149,34 @@ let run ?(push_p4info = true) stack config =
       hash_mode = Interp.Fixed 0;
       mirror_map = Workload.mirror_map config.entries }
   in
+  let cache_hits_before = match config.cache with Some c -> Cache.hits c | None -> 0 in
+  let cache_misses_before = match config.cache with Some c -> Cache.misses c | None -> 0 in
   (* Generation stage (timed separately, as in Table 3). *)
   let gen_start = Unix.gettimeofday () in
-  let encoding = Symexec.encode (Stack.program stack) config.entries in
-  (* Prefer forwarded packets: a goal packet that both sides drop (e.g.
-     TTL 0) exercises the entry but observes nothing. The preference is
-     soft; uncoverable-when-forwarding goals fall back automatically. *)
-  let prefer = Term.not_ encoding.enc_dropped in
-  let goals =
-    Packetgen.entry_coverage_goals ~prefer encoding
-    @ (if config.include_branch_goals then Packetgen.branch_coverage_goals ~prefer encoding
-       else [])
-    @ config.extra_goals encoding
+  let goals, generated =
+    Telemetry.with_span (Telemetry.get ()) "campaign.generation" (fun () ->
+        let encoding = Symexec.encode (Stack.program stack) config.entries in
+        (* Prefer forwarded packets: a goal packet that both sides drop (e.g.
+           TTL 0) exercises the entry but observes nothing. The preference is
+           soft; uncoverable-when-forwarding goals fall back automatically. *)
+        let prefer = Term.not_ encoding.enc_dropped in
+        let goals =
+          Packetgen.entry_coverage_goals ~prefer encoding
+          @ (if config.include_branch_goals then
+               Packetgen.branch_coverage_goals ~prefer encoding
+             else [])
+          @ config.extra_goals encoding
+        in
+        let generated =
+          Packetgen.generate ~ports:config.ports ?cache:config.cache encoding goals
+        in
+        (goals, generated))
   in
-  let generated = Packetgen.generate ~ports:config.ports ?cache:config.cache encoding goals in
   let gen_time = Unix.gettimeofday () -. gen_start in
   (* Testing stage. *)
   let test_start = Unix.gettimeofday () in
   let tested = ref 0 in
+  Telemetry.with_span (Telemetry.get ()) "campaign.testing" (fun () ->
   List.iter
     (fun (tp : Packetgen.test_packet) ->
       match tp.tp_bytes with
@@ -242,7 +253,7 @@ let run ?(push_p4info = true) stack config =
       add "submit-to-ingress divergence"
         (Format.asprintf "switch behaved %a, model admits %a" Interp.pp_behavior switch_b
            pp_behavior_set model_bs)
-  end;
+  end);
   let test_time = Unix.gettimeofday () -. test_start in
   let stats =
     { Report.ds_entries_installed = installed;
@@ -252,6 +263,11 @@ let run ?(push_p4info = true) stack config =
       ds_packets_tested = !tested;
       ds_generation_time = gen_time;
       ds_testing_time = test_time;
-      ds_from_cache = generated.from_cache }
+      ds_cache_hits =
+        (match config.cache with Some c -> Cache.hits c - cache_hits_before | None -> 0);
+      ds_cache_misses =
+        (match config.cache with
+        | Some c -> Cache.misses c - cache_misses_before
+        | None -> 0) }
   in
   (List.rev !incidents, stats)

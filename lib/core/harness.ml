@@ -2,6 +2,7 @@ module Stack = Switchv_switch.Stack
 module Fault = Switchv_switch.Fault
 module Entry = Switchv_p4runtime.Entry
 module Cache = Switchv_symbolic.Cache
+module Telemetry = Switchv_telemetry.Telemetry
 
 type config = {
   control : Control_campaign.config;
@@ -55,6 +56,8 @@ let default_config entries =
     max_incidents = 25 }
 
 let validate mk_stack config =
+  let tele = Telemetry.get () in
+  Telemetry.with_span tele "harness.validate" @@ fun () ->
   let control_stack = mk_stack () in
   let control_incidents, control_stats =
     Control_campaign.run control_stack
@@ -110,6 +113,7 @@ let validate mk_stack config =
     control_incidents;
     data_incidents = data_incidents @ fuzzed_incidents;
     control_stats = Some control_stats;
-    data_stats = Some data_stats }
+    data_stats = Some data_stats;
+    telemetry = Some (Telemetry.snapshot tele) }
 
 let detect mk_stack config = Report.detected_by (validate mk_stack config)

@@ -88,18 +88,16 @@ let collect ?(batches = 10) ?(seed = 3) mk_stack entries =
     (* Entry goals only (not defaults/branches): the metric is per entry. *)
     List.filter
       (fun (g : Packetgen.goal) ->
-        String.length g.goal_id > 6
-        && String.sub g.goal_id 0 6 = "entry:"
-        && not
-             (String.length g.goal_id >= 9
-             && String.sub g.goal_id (String.length g.goal_id - 9) 9 = "<default>"))
+        match g.goal_kind with
+        | Packetgen.G_entry { ge_label; _ } -> ge_label <> "<default>"
+        | _ -> false)
       (Packetgen.entry_coverage_goals ~prefer encoding)
   in
   let result = Packetgen.generate encoding goals in
   List.iter
     (fun (tp : Packetgen.test_packet) ->
-      match String.split_on_char ':' tp.tp_goal with
-      | "entry" :: table :: _ -> (
+      match tp.tp_kind with
+      | Packetgen.G_entry { ge_table = table; _ } -> (
           match tp.tp_bytes with
           | None -> ()
           | Some bytes ->

@@ -1,3 +1,5 @@
+module Telemetry = Switchv_telemetry.Telemetry
+
 type detector = Fuzzer | Symbolic
 
 let detector_to_string = function Fuzzer -> "p4-fuzzer" | Symbolic -> "p4-symbolic"
@@ -29,7 +31,8 @@ type data_stats = {
   ds_packets_tested : int;
   ds_generation_time : float;
   ds_testing_time : float;
-  ds_from_cache : bool;
+  ds_cache_hits : int;
+  ds_cache_misses : int;
 }
 
 type t = {
@@ -38,11 +41,12 @@ type t = {
   data_incidents : incident list;
   control_stats : control_stats option;
   data_stats : data_stats option;
+  telemetry : Telemetry.snapshot option;
 }
 
 let empty program_name =
   { program_name; control_incidents = []; data_incidents = [];
-    control_stats = None; data_stats = None }
+    control_stats = None; data_stats = None; telemetry = None }
 
 let incidents t = t.control_incidents @ t.data_incidents
 
@@ -64,11 +68,10 @@ let pp fmt t =
   (match t.data_stats with
   | Some s ->
       Format.fprintf fmt
-        "data plane: %d entries, %d/%d goals covered (%d uncoverable), %d packets, gen %.2fs%s, test %.2fs@,"
+        "data plane: %d entries, %d/%d goals covered (%d uncoverable), %d packets, gen %.2fs, test %.2fs, cache %d hit / %d miss@,"
         s.ds_entries_installed s.ds_covered s.ds_goals s.ds_uncoverable
-        s.ds_packets_tested s.ds_generation_time
-        (if s.ds_from_cache then " (cached)" else "")
-        s.ds_testing_time
+        s.ds_packets_tested s.ds_generation_time s.ds_testing_time
+        s.ds_cache_hits s.ds_cache_misses
   | None -> ());
   let all = incidents t in
   if all = [] then Format.fprintf fmt "no incidents@,"
@@ -76,4 +79,50 @@ let pp fmt t =
     Format.fprintf fmt "%d incident(s):@," (List.length all);
     List.iter (fun i -> Format.fprintf fmt "  %a@," pp_incident i) all
   end;
+  (match t.telemetry with
+  | Some snap -> Format.fprintf fmt "%a" Telemetry.pp_snapshot snap
+  | None -> ());
   Format.fprintf fmt "@]"
+
+(* --- JSON ----------------------------------------------------------------- *)
+
+module Json = Telemetry.Json
+
+let control_stats_to_json s =
+  Json.obj
+    [ ("batches", Json.int s.cs_batches); ("updates", Json.int s.cs_updates);
+      ("valid_updates", Json.int s.cs_valid_updates);
+      ("invalid_updates", Json.int s.cs_invalid_updates);
+      ("duration_s", Json.num s.cs_duration) ]
+
+let data_stats_to_json s =
+  Json.obj
+    [ ("entries_installed", Json.int s.ds_entries_installed);
+      ("goals", Json.int s.ds_goals); ("covered", Json.int s.ds_covered);
+      ("uncoverable", Json.int s.ds_uncoverable);
+      ("packets_tested", Json.int s.ds_packets_tested);
+      ("generation_time_s", Json.num s.ds_generation_time);
+      ("testing_time_s", Json.num s.ds_testing_time);
+      ("cache_hits", Json.int s.ds_cache_hits);
+      ("cache_misses", Json.int s.ds_cache_misses) ]
+
+let to_json t =
+  let opt f = function Some v -> f v | None -> "null" in
+  Json.obj
+    [ ("program", Json.str t.program_name);
+      ("clean", Json.bool (clean t));
+      ("control_stats", opt control_stats_to_json t.control_stats);
+      ("data_stats", opt data_stats_to_json t.data_stats);
+      ( "incidents",
+        Json.arr
+          (List.map
+             (fun (origin, i) ->
+               (* Tag the campaign each incident came from; detector alone
+                  is ambiguous once fuzzed-entry passes re-use kinds. *)
+               Json.obj
+                 [ ("campaign", Json.str origin);
+                   ("detector", Json.str (detector_to_string i.detector));
+                   ("kind", Json.str i.kind); ("detail", Json.str i.detail) ])
+             (List.map (fun i -> ("control", i)) t.control_incidents
+             @ List.map (fun i -> ("data", i)) t.data_incidents)) );
+      ("telemetry", opt Telemetry.snapshot_to_json t.telemetry) ]

@@ -4,6 +4,8 @@
     observed behaviour is outside the set admitted by the P4 model, with
     enough context for a human to investigate. *)
 
+module Telemetry = Switchv_telemetry.Telemetry
+
 type detector = Fuzzer | Symbolic
 
 val detector_to_string : detector -> string
@@ -33,7 +35,8 @@ type data_stats = {
   ds_packets_tested : int;
   ds_generation_time : float;   (** encode + SMT, the paper's "Generation" *)
   ds_testing_time : float;      (** run + compare, the paper's "Testing" *)
-  ds_from_cache : bool;
+  ds_cache_hits : int;          (** packet-cache hits during this campaign *)
+  ds_cache_misses : int;
 }
 
 type t = {
@@ -42,6 +45,9 @@ type t = {
   data_incidents : incident list;
   control_stats : control_stats option;
   data_stats : data_stats option;
+  telemetry : Telemetry.snapshot option;
+      (** Counters and latency quantiles accumulated over the run, captured
+          by {!Harness.validate} when it finishes. *)
 }
 
 val empty : string -> t
@@ -57,3 +63,10 @@ val detected_by : t -> detector option
     paper's Table 1. *)
 
 val pp : Format.formatter -> t -> unit
+
+val to_json : t -> string
+(** Machine-readable one-line JSON rendering (hand-rolled, no
+    dependencies) for archiving nightly reports. Schema:
+    [{"program":…,"clean":…,"control_stats":{…}|null,
+      "data_stats":{…}|null,"incidents":[{"detector":…,"kind":…,
+      "detail":…},…],"telemetry":{…}|null}]. *)

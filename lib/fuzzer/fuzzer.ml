@@ -103,6 +103,21 @@ type annotated_update = {
   mutation : string option;
 }
 
+module Telemetry = Switchv_telemetry.Telemetry
+
+(* Every batch handed to a campaign is accounted: how many updates were
+   generated, and how many carried a mutation (the "interestingly invalid"
+   share of §4.2). *)
+let account_batch batch =
+  let tele = Telemetry.get () in
+  if Telemetry.enabled tele then begin
+    Telemetry.incr tele "fuzzer.batches";
+    Telemetry.incr ~n:(List.length batch) tele "fuzzer.updates";
+    Telemetry.incr tele "fuzzer.mutated_updates"
+      ~n:(List.length (List.filter (fun a -> a.mutation <> None) batch))
+  end;
+  batch
+
 let mutations =
   [ "invalid_table_id"; "invalid_table_action"; "invalid_match_field_id";
     "invalid_match_type"; "duplicate_match_field"; "missing_mandatory_match_field";
@@ -703,7 +718,7 @@ let sweep t =
           | Request.Modify -> ignore (State.modify t.mirror_ e)
           | Request.Delete -> ignore (State.delete t.mirror_ e))
         (List.rev pending);
-      batches := List.rev updates :: !batches
+      batches := account_batch (List.rev updates) :: !batches
     end
   in
   (* Phase 1: valid inserts, a few per table, one batch per dependency
@@ -874,4 +889,4 @@ let next_batch t =
       | Request.Modify -> ignore (State.modify t.mirror_ e)
       | Request.Delete -> ignore (State.delete t.mirror_ e))
     (List.rev !pending_valid);
-  List.rev !updates
+  account_batch (List.rev !updates)

@@ -4,6 +4,7 @@ module Request = Switchv_p4runtime.Request
 module Status = Switchv_p4runtime.Status
 module State = Switchv_p4runtime.State
 module Validate = Switchv_p4runtime.Validate
+module Telemetry = Switchv_telemetry.Telemetry
 
 type t = {
   info : P4info.t;
@@ -74,10 +75,22 @@ type detailed = {
   per_update_ok : bool list;
 }
 
+let incident_counter = function
+  | `Status_violation -> "oracle.incidents.status_violation"
+  | `State_divergence -> "oracle.incidents.state_divergence"
+  | `Unresponsive -> "oracle.incidents.unresponsive"
+  | `P4info_rejected -> "oracle.incidents.p4info_rejected"
+
 let judge_batch_detailed t updates (resp : Request.write_response) ~read_back =
+  let tele = Telemetry.get () in
+  Telemetry.incr tele "oracle.batches_judged";
+  Telemetry.incr ~n:(List.length updates) tele "oracle.updates_judged";
   let incidents = ref [] in
   let verdicts = ref [] in
-  let add kind detail = incidents := { inc_kind = kind; inc_detail = detail } :: !incidents in
+  let add kind detail =
+    Telemetry.incr tele (incident_counter kind);
+    incidents := { inc_kind = kind; inc_detail = detail } :: !incidents
+  in
   if List.length resp.statuses <> List.length updates then
     add `Status_violation
       (Printf.sprintf "response has %d statuses for %d updates"

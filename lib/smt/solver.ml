@@ -1,4 +1,5 @@
 module Bitvec = Switchv_bitvec.Bitvec
+module Telemetry = Switchv_telemetry.Telemetry
 module Lit = Sat.Lit
 
 module Phys = Hashtbl.Make (struct
@@ -280,11 +281,33 @@ let extract_model t =
   Hashtbl.iter (fun name l -> Hashtbl.replace bools name (lit_model_value t l)) t.bool_vars;
   { bv = Hashtbl.find_opt bvs; bool = Hashtbl.find_opt bools }
 
+(* Solver effort is accounted per [check] call: the SAT core's cumulative
+   counters are diffed around the solve and published as telemetry, so the
+   inner CDCL loops stay free of instrumentation. *)
+let publish_effort before after =
+  let tele = Telemetry.get () in
+  if Telemetry.enabled tele then
+    List.iter
+      (fun (name, v) ->
+        match List.assoc_opt name before with
+        | Some v0 -> Telemetry.incr ~n:(v - v0) tele ("smt." ^ name)
+        | None -> ())
+      after
+
 let check ?(assumptions = []) t =
-  let assumption_lits = List.map (blast_bool t) assumptions in
-  match Sat.solve ~assumptions:assumption_lits t.sat with
-  | Sat.Sat -> Sat (extract_model t)
-  | Sat.Unsat -> Unsat
+  let tele = Telemetry.get () in
+  Telemetry.with_span tele "smt.check" (fun () ->
+      let assumption_lits = List.map (blast_bool t) assumptions in
+      let before = Sat.stats t.sat in
+      let result =
+        match Sat.solve ~assumptions:assumption_lits t.sat with
+        | Sat.Sat -> Sat (extract_model t)
+        | Sat.Unsat -> Unsat
+      in
+      publish_effort before (Sat.stats t.sat);
+      Telemetry.incr tele "smt.checks";
+      Telemetry.incr tele (match result with Sat _ -> "smt.sat" | Unsat -> "smt.unsat");
+      result)
 
 let stats t =
   ("gates", t.n_gates) :: ("sat_vars", Sat.num_vars t.sat) :: Sat.stats t.sat

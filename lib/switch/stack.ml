@@ -8,6 +8,7 @@ module State = Switchv_p4runtime.State
 module Validate = Switchv_p4runtime.Validate
 module Interp = Switchv_bmv2.Interp
 module Workload = Switchv_sai.Workload
+module Telemetry = Switchv_telemetry.Telemetry
 
 type t = {
   s_program : Ast.program;          (* the contract (what SwitchV validates against) *)
@@ -26,6 +27,15 @@ type t = {
 let fault_kinds t = List.map (fun (f : Fault.t) -> f.kind) t.s_faults
 
 let has t pred = List.exists pred (fault_kinds t)
+
+(* Record that a seeded fault actually changed observable behaviour.
+   Counted per catalogue id ("fault.PINS-042"), so campaigns can see which
+   seeded bugs fired — and how often — independent of detection. *)
+let fire t pred =
+  List.iter
+    (fun (f : Fault.t) ->
+      if pred f.Fault.kind then Telemetry.incr (Telemetry.get ()) ("fault." ^ f.id))
+    t.s_faults
 
 (* --- data-plane program perturbations -------------------------------------- *)
 
@@ -82,8 +92,10 @@ let crashed t = t.is_crashed
 
 let push_p4info t =
   if t.is_crashed then Status.make Status.Unavailable "switch is unresponsive"
-  else if has t (function Fault.P4info_push_fails -> true | _ -> false) then
+  else if has t (function Fault.P4info_push_fails -> true | _ -> false) then begin
+    fire t (function Fault.P4info_push_fails -> true | _ -> false);
     Status.make Status.Internal "failed to apply forwarding-pipeline config"
+  end
   else begin
     t.p4info_ok <- true;
     Status.ok
@@ -160,13 +172,17 @@ let capacity t table_name =
 
 (* Apply a server-accepted update to the ASIC, modulo sync-layer faults. *)
 let sync_to_asic t (u : Request.update) =
+  Telemetry.with_span (Telemetry.get ()) "switch.syncd.sync" @@ fun () ->
   let e = u.entry in
   let dropped =
     has t (function
       | Fault.Syncd_drops_table tbl -> String.equal tbl e.e_table
       | _ -> false)
   in
-  if dropped then ()
+  if dropped then
+    fire t (function
+      | Fault.Syncd_drops_table tbl -> String.equal tbl e.e_table
+      | _ -> false)
   else begin
     let e =
       if
@@ -174,6 +190,9 @@ let sync_to_asic t (u : Request.update) =
           | Fault.Syncd_offsets_port_arg tbl -> String.equal tbl e.e_table
           | _ -> false)
       then begin
+        fire t (function
+          | Fault.Syncd_offsets_port_arg tbl -> String.equal tbl e.e_table
+          | _ -> false);
         (* The ASIC receives port arguments off by one. *)
         let fix (ai : Entry.action_invocation) =
           if String.equal ai.ai_name "set_port_and_src_mac" then
@@ -197,7 +216,8 @@ let sync_to_asic t (u : Request.update) =
       has t (function Fault.Wcmp_update_removes_member -> true | _ -> false)
       && (match e.e_action with Entry.Weighted _ -> true | Entry.Single _ -> false)
     in
-    if wcmp_lost then ()
+    if wcmp_lost then
+      fire t (function Fault.Wcmp_update_removes_member -> true | _ -> false)
     else
     match u.op with
     | Request.Insert -> ignore (State.insert t.asic e)
@@ -207,7 +227,10 @@ let sync_to_asic t (u : Request.update) =
 
 let process_update t (u : Request.update) =
   let e = u.entry in
-  match server_validate t e with
+  match
+    Telemetry.with_span (Telemetry.get ()) "switch.server.validate" (fun () ->
+        server_validate t e)
+  with
   | Error s -> s
   | Ok () -> (
       let spurious_reject =
@@ -231,11 +254,17 @@ let process_update t (u : Request.update) =
             List.length names <> List.length (List.sort_uniq String.compare names)
         | Entry.Single _ -> false
       in
-      if spurious_reject then
+      if spurious_reject then begin
+        fire t (function
+          | Fault.Reject_valid_insert tbl -> String.equal tbl e.e_table
+          | _ -> false);
         Status.makef Status.Invalid_argument "internal: unsupported key format in table %s"
           e.e_table
-      else if reject_dup_wcmp then
+      end
+      else if reject_dup_wcmp then begin
+        fire t (function Fault.Reject_duplicate_wcmp_actions -> true | _ -> false);
         Status.make Status.Invalid_argument "duplicate action in WCMP group"
+      end
       else
         match u.op with
         | Request.Insert -> (
@@ -256,7 +285,13 @@ let process_update t (u : Request.update) =
                              | Fault.Accept_duplicate_insert tbl ->
                                  String.equal tbl e.e_table
                              | _ -> false)
-                      then Status.ok (* pretends to accept; keeps the original *)
+                      then begin
+                        fire t (function
+                          | Fault.Accept_duplicate_insert tbl ->
+                              String.equal tbl e.e_table
+                          | _ -> false);
+                        Status.ok (* pretends to accept; keeps the original *)
+                      end
                       else s
                 end)
         | Request.Modify -> (
@@ -268,9 +303,13 @@ let process_update t (u : Request.update) =
                     | Fault.Modify_keeps_old_args tbl -> String.equal tbl e.e_table
                     | _ -> false)
                 in
-                if keep_old then
+                if keep_old then begin
+                  fire t (function
+                    | Fault.Modify_keeps_old_args tbl -> String.equal tbl e.e_table
+                    | _ -> false);
                   if State.find t.server e <> None then Status.ok
                   else Status.makef Status.Not_found "no such entry in %s" e.e_table
+                end
                 else begin
                   match State.modify t.server e with
                   | Ok () ->
@@ -295,13 +334,22 @@ let process_update t (u : Request.update) =
             match State.find t.server e with
             | None -> Status.makef Status.Not_found "no such entry in %s" e.e_table
             | Some installed ->
-                if spurious_vrf_refuse then
+                if spurious_vrf_refuse then begin
+                  fire t (function
+                    | Fault.Reject_vrf_delete_with_any_routes -> true
+                    | _ -> false);
                   Status.make Status.Failed_precondition
                     "cannot delete VRF while routes exist"
+                end
                 else if State.is_referenced t.server t.s_info installed then
                   Status.make Status.Failed_precondition
                     "entry is referenced by other entries"
-                else if leave then Status.ok
+                else if leave then begin
+                  fire t (function
+                    | Fault.Delete_leaves_entry tbl -> String.equal tbl e.e_table
+                    | _ -> false);
+                  Status.ok
+                end
                 else begin
                   match State.delete t.server e with
                   | Ok () ->
@@ -311,6 +359,9 @@ let process_update t (u : Request.update) =
                 end))
 
 let write t (req : Request.write_request) =
+  Telemetry.with_span (Telemetry.get ()) "switch.write"
+    ~attrs:[ ("updates", string_of_int (List.length req.updates)) ]
+  @@ fun () ->
   if t.is_crashed then
     { Request.statuses = List.map (fun _ -> unavailable) req.updates }
   else if not t.p4info_ok then
@@ -330,6 +381,7 @@ let write t (req : Request.write_request) =
         max_int (fault_kinds t)
     in
     if n_deletes >= crash_limit then begin
+      fire t (function Fault.Crash_on_delete_sequence _ -> true | _ -> false);
       t.is_crashed <- true;
       { Request.statuses = List.map (fun _ -> unavailable) req.updates }
     end
@@ -341,12 +393,14 @@ let write t (req : Request.write_request) =
                u.op = Request.Delete && State.find t.server u.entry = None)
              req.updates
       in
-      if fail_batch_on_missing_delete then
+      if fail_batch_on_missing_delete then begin
+        fire t (function Fault.Delete_nonexistent_fails_batch -> true | _ -> false);
         { Request.statuses =
             List.map
               (fun _ ->
                 Status.make Status.Unknown "batch aborted: delete of non-existent entry")
               req.updates }
+      end
       else
         { Request.statuses = List.map (process_update t) req.updates }
     end
@@ -356,7 +410,7 @@ let read t =
   if t.is_crashed then { Request.entries = [] }
   else begin
     let entries = State.all t.server in
-    let entries =
+    let kept =
       List.filter
         (fun (e : Entry.t) ->
           not
@@ -365,10 +419,15 @@ let read t =
                | _ -> false)))
         entries
     in
+    if List.length kept <> List.length entries then
+      fire t (function Fault.Read_drops_table _ -> true | _ -> false);
     let entries =
-      if has t (function Fault.Read_zeroes_priority -> true | _ -> false) then
-        List.map (fun (e : Entry.t) -> { e with e_priority = 0 }) entries
-      else entries
+      if kept <> [] && has t (function Fault.Read_zeroes_priority -> true | _ -> false)
+      then begin
+        fire t (function Fault.Read_zeroes_priority -> true | _ -> false);
+        List.map (fun (e : Entry.t) -> { e with e_priority = 0 }) kept
+      end
+      else kept
     in
     { Request.entries }
   end
@@ -400,43 +459,52 @@ let ipv4_field bytes offset len =
 
 let perturb_behavior t ~ingress_port in_bytes (b : Interp.behavior) =
   List.fold_left
-    (fun (b : Interp.behavior) kind ->
-      match kind with
-      | Fault.Drop_on_port p when ingress_port = p -> { b with b_egress = None }
-      | Fault.Ttl_trap_always -> (
-          match ipv4_field in_bytes 8 1 with
-          | Some ttl when ttl <= 1 -> { b with b_egress = None; b_punted = true }
-          | _ -> b)
-      | Fault.Drop_dst_ip ip -> (
-          (* Drops the whole /24 the address identifies (a route's worth of
-             traffic), matching how such hardware bugs manifest. *)
-          match ipv4_field in_bytes 16 4 with
-          | Some dst
-            when Bitvec.equal
-                   (Bitvec.shift_right (Bitvec.of_int ~width:32 dst) 8)
-                   (Bitvec.shift_right ip 8) ->
-              { b with b_egress = None }
-          | _ -> b)
-      | Fault.Punt_ether_type et -> (
-          match ether_type in_bytes with
-          | Some t' when t' = et -> { b with b_punted = true }
-          | _ -> b)
-      | Fault.Dscp_remark_zero d -> (
-          (* Re-marks any DSCP >= d to 0 on forwarded packets. *)
-          match (b.b_egress, ipv4_field b.b_packet 1 1) with
-          | Some _, Some tos when d > 0 && tos lsr 2 >= d ->
-              let bytes = Bytes.of_string b.b_packet in
-              Bytes.set bytes 15 (Char.chr (tos land 0x03));
-              { b with b_packet = Bytes.to_string bytes }
-          | _ -> b)
-      | Fault.Mirror_ignored -> { b with b_mirrors = [] }
-      | Fault.Punt_lost -> { b with b_punted = false }
-      | Fault.Forward_wrong_port_for_port p -> (
-          match b.b_egress with
-          | Some p' when p' = p -> { b with b_egress = Some (p + 1) }
-          | _ -> b)
-      | _ -> b)
-    b (fault_kinds t)
+    (fun (b : Interp.behavior) (f : Fault.t) ->
+      (* Each arm returns [Some b'] when the fault's trigger condition held
+         (a firing, counted by catalogue id) and [None] when it did not. *)
+      let fired =
+        match f.Fault.kind with
+        | Fault.Drop_on_port p when ingress_port = p -> Some { b with b_egress = None }
+        | Fault.Ttl_trap_always -> (
+            match ipv4_field in_bytes 8 1 with
+            | Some ttl when ttl <= 1 -> Some { b with b_egress = None; b_punted = true }
+            | _ -> None)
+        | Fault.Drop_dst_ip ip -> (
+            (* Drops the whole /24 the address identifies (a route's worth of
+               traffic), matching how such hardware bugs manifest. *)
+            match ipv4_field in_bytes 16 4 with
+            | Some dst
+              when Bitvec.equal
+                     (Bitvec.shift_right (Bitvec.of_int ~width:32 dst) 8)
+                     (Bitvec.shift_right ip 8) ->
+                Some { b with b_egress = None }
+            | _ -> None)
+        | Fault.Punt_ether_type et -> (
+            match ether_type in_bytes with
+            | Some t' when t' = et -> Some { b with b_punted = true }
+            | _ -> None)
+        | Fault.Dscp_remark_zero d -> (
+            (* Re-marks any DSCP >= d to 0 on forwarded packets. *)
+            match (b.b_egress, ipv4_field b.b_packet 1 1) with
+            | Some _, Some tos when d > 0 && tos lsr 2 >= d ->
+                let bytes = Bytes.of_string b.b_packet in
+                Bytes.set bytes 15 (Char.chr (tos land 0x03));
+                Some { b with b_packet = Bytes.to_string bytes }
+            | _ -> None)
+        | Fault.Mirror_ignored when b.b_mirrors <> [] -> Some { b with b_mirrors = [] }
+        | Fault.Punt_lost when b.b_punted -> Some { b with b_punted = false }
+        | Fault.Forward_wrong_port_for_port p -> (
+            match b.b_egress with
+            | Some p' when p' = p -> Some { b with b_egress = Some (p + 1) }
+            | _ -> None)
+        | _ -> None
+      in
+      match fired with
+      | Some b' ->
+          Telemetry.incr (Telemetry.get ()) ("fault." ^ f.id);
+          b'
+      | None -> b)
+    b t.s_faults
 
 let drop_behavior bytes =
   { Interp.b_egress = None;
@@ -446,11 +514,13 @@ let drop_behavior bytes =
     b_trace = [ ("<fault>", "dropped") ] }
 
 let inject t ~ingress_port bytes =
+  Telemetry.with_span (Telemetry.get ()) "switch.inject" @@ fun () ->
   match Interp.run (interp_config t) ~ingress_port bytes with
   | b -> perturb_behavior t ~ingress_port bytes b
   | exception Interp.Parse_failure _ -> drop_behavior bytes
 
 let packet_out t (po : Request.packet_out) =
+  Telemetry.with_span (Telemetry.get ()) "switch.packet_out" @@ fun () ->
   let submit_dropped =
     has t (function Fault.Submit_to_ingress_dropped -> true | _ -> false)
   in
@@ -460,9 +530,16 @@ let packet_out t (po : Request.packet_out) =
   match po.po_egress_port with
   | Some _ ->
       let b = Interp.run_packet_out (interp_config t) ~egress_port:po.po_egress_port po.po_payload in
-      if punt_back then { b with b_punted = true } else b
+      if punt_back then begin
+        fire t (function Fault.Packet_out_punted_back -> true | _ -> false);
+        { b with b_punted = true }
+      end
+      else b
   | None ->
-      if submit_dropped then drop_behavior (Switchv_packet.Packet.to_bytes po.po_payload)
+      if submit_dropped then begin
+        fire t (function Fault.Submit_to_ingress_dropped -> true | _ -> false);
+        drop_behavior (Switchv_packet.Packet.to_bytes po.po_payload)
+      end
       else begin
         let b =
           Interp.run_packet_out (interp_config t) ~egress_port:None po.po_payload

@@ -1,3 +1,5 @@
+module Telemetry = Switchv_telemetry.Telemetry
+
 type backend = Memory | Disk of string
 
 type t = {
@@ -33,8 +35,12 @@ let find t ~key =
             else None))
   in
   (match result with
-  | Some _ -> t.n_hits <- t.n_hits + 1
-  | None -> t.n_misses <- t.n_misses + 1);
+  | Some _ ->
+      t.n_hits <- t.n_hits + 1;
+      Telemetry.incr (Telemetry.get ()) "cache.hits"
+  | None ->
+      t.n_misses <- t.n_misses + 1;
+      Telemetry.incr (Telemetry.get ()) "cache.misses");
   result
 
 let store t ~key payload =

@@ -6,9 +6,17 @@ module Entry = Switchv_p4runtime.Entry
 module P4info = Switchv_p4ir.P4info
 module Term = Switchv_smt.Term
 module Solver = Switchv_smt.Solver
+module Telemetry = Switchv_telemetry.Telemetry
+
+type goal_kind =
+  | G_entry of { ge_table : string; ge_label : string }
+  | G_branch of string
+  | G_trace of string
+  | G_custom of string
 
 type goal = {
   goal_id : string;
+  goal_kind : goal_kind;
   goal_cond : Term.boolean;
   goal_prefer : Term.boolean;
   goal_desc : string;
@@ -21,6 +29,7 @@ let entry_coverage_goals ?(prefer = Term.tru) (enc : Symexec.encoding) =
       else
         Some
           { goal_id = Printf.sprintf "entry:%s:%s" tp.tp_table tp.tp_label;
+            goal_kind = G_entry { ge_table = tp.tp_table; ge_label = tp.tp_label };
             goal_cond = tp.tp_guard;
             goal_prefer = prefer;
             goal_desc = Printf.sprintf "hit %s in table %s" tp.tp_label tp.tp_table })
@@ -32,6 +41,7 @@ let branch_coverage_goals ?(prefer = Term.tru) (enc : Symexec.encoding) =
       if String.equal tp.tp_table "<if>" then
         Some
           { goal_id = "branch:" ^ tp.tp_label;
+            goal_kind = G_branch tp.tp_label;
             goal_cond = tp.tp_guard;
             goal_prefer = prefer;
             goal_desc = "cover pipeline " ^ tp.tp_label }
@@ -39,7 +49,8 @@ let branch_coverage_goals ?(prefer = Term.tru) (enc : Symexec.encoding) =
     enc.enc_trace
 
 let custom_goal ?(prefer = Term.tru) ~id ~desc cond =
-  { goal_id = id; goal_cond = cond; goal_prefer = prefer; goal_desc = desc }
+  { goal_id = id; goal_kind = G_custom id; goal_cond = cond; goal_prefer = prefer;
+    goal_desc = desc }
 
 let trace_coverage_goals ?(prefer = Term.tru) ?(max_goals = 512) (enc : Symexec.encoding)
     ~tables =
@@ -76,6 +87,7 @@ let trace_coverage_goals ?(prefer = Term.tru) ?(max_goals = 512) (enc : Symexec.
             in
             Some
               { goal_id = "trace:" ^ label;
+                goal_kind = G_trace label;
                 goal_cond = cond;
                 goal_prefer = prefer;
                 goal_desc = "cover the trace combination " ^ label })
@@ -85,6 +97,7 @@ let trace_coverage_goals ?(prefer = Term.tru) ?(max_goals = 512) (enc : Symexec.
 
 type test_packet = {
   tp_goal : string;
+  tp_kind : goal_kind;
   tp_port : int;
   tp_bytes : string option;
 }
@@ -136,17 +149,27 @@ let port_of_model (m : Solver.model) ports =
 
 (* --- cache serialisation --------------------------------------------------------- *)
 
-(* test packets are (goal, port, bytes option) triples of primitives, safe
-   for Marshal round-trips within this program. *)
+(* test packets are tuples of primitives (goal_kind is a variant of
+   strings), safe for Marshal round-trips within this program. *)
 let serialize (packets : test_packet list) =
-  Marshal.to_string (List.map (fun p -> (p.tp_goal, p.tp_port, p.tp_bytes)) packets) []
+  Marshal.to_string
+    (List.map (fun p -> (p.tp_goal, p.tp_kind, p.tp_port, p.tp_bytes)) packets)
+    []
 
 let deserialize payload : test_packet list =
-  let triples : (string * int * string option) list = Marshal.from_string payload 0 in
-  List.map (fun (g, p, b) -> { tp_goal = g; tp_port = p; tp_bytes = b }) triples
+  let tuples : (string * goal_kind * int * string option) list =
+    Marshal.from_string payload 0
+  in
+  List.map
+    (fun (g, k, p, b) -> { tp_goal = g; tp_kind = k; tp_port = p; tp_bytes = b })
+    tuples
 
 let cache_key (enc : Symexec.encoding) goals ~ports =
   let buf = Buffer.create 4096 in
+  (* Version tag: bump whenever the serialised payload layout changes, so
+     stale on-disk payloads from older binaries can never be deserialised
+     into the new shape. *)
+  Buffer.add_string buf "packetgen-v2;";
   Buffer.add_string buf (P4info.digest (P4info.of_program enc.enc_program));
   List.iter
     (fun (tp : Symexec.trace_point) ->
@@ -173,6 +196,10 @@ let cache_key (enc : Symexec.encoding) goals ~ports =
 (* --- generation -------------------------------------------------------------------- *)
 
 let generate ?(ports = [ 1; 2; 3; 4 ]) ?cache (enc : Symexec.encoding) goals =
+  let tele = Telemetry.get () in
+  Telemetry.with_span tele "symbolic.generate"
+    ~attrs:[ ("goals", string_of_int (List.length goals)) ]
+  @@ fun () ->
   let key = cache_key enc goals ~ports in
   let cached =
     match cache with
@@ -221,14 +248,24 @@ let generate ?(ports = [ 1; 2; 3; 4 ]) ?cache (enc : Symexec.encoding) goals =
                   | Solver.Sat _ as r -> r
                   | Solver.Unsat -> solve rest)
             in
-            let result = solve attempts in
+            let result =
+              Telemetry.with_span tele "symbolic.goal"
+                ~attrs:[ ("goal", goal.goal_id) ]
+                (fun () -> solve attempts)
+            in
             match result with
             | Solver.Sat m ->
+                Telemetry.incr tele "symbolic.goals_covered";
                 { tp_goal = goal.goal_id;
+                  tp_kind = goal.goal_kind;
                   tp_port = port_of_model m ports;
                   tp_bytes = Some (packet_of_model enc m) }
             | Solver.Unsat ->
-                { tp_goal = goal.goal_id; tp_port = List.hd ports; tp_bytes = None })
+                Telemetry.incr tele "symbolic.goals_uncoverable";
+                { tp_goal = goal.goal_id;
+                  tp_kind = goal.goal_kind;
+                  tp_port = List.hd ports;
+                  tp_bytes = None })
           goals
       in
       (match cache with

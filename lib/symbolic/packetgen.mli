@@ -14,8 +14,21 @@ module Ast = Switchv_p4ir.Ast
 module Entry = Switchv_p4runtime.Entry
 module Term = Switchv_smt.Term
 
+(** What a goal covers, as structured data. Consumers (e.g. {!module}
+    [Switchv_core.Metrics]) must match on this rather than re-parse
+    [goal_id] — table names may contain arbitrary characters, including
+    the [':'] the id string uses as a separator. *)
+type goal_kind =
+  | G_entry of { ge_table : string; ge_label : string }
+      (** One installed entry, or the table default when [ge_label] is
+          ["<default>"]. *)
+  | G_branch of string             (** one side of a pipeline conditional *)
+  | G_trace of string              (** a cross-product trace combination *)
+  | G_custom of string             (** caller-defined (exploratory goals) *)
+
 type goal = {
   goal_id : string;                (** unique, stable across runs *)
+  goal_kind : goal_kind;
   goal_cond : Term.boolean;
   goal_prefer : Term.boolean;
       (** A soft constraint: tried first, dropped if it makes the goal
@@ -50,6 +63,7 @@ val trace_coverage_goals :
 
 type test_packet = {
   tp_goal : string;
+  tp_kind : goal_kind;
   tp_port : int;                   (** ingress port to inject on *)
   tp_bytes : string option;        (** [None]: the goal is unsatisfiable *)
 }

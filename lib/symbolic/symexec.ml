@@ -7,6 +7,7 @@ module Entry = Switchv_p4runtime.Entry
 module State = Switchv_p4runtime.State
 module Interp = Switchv_bmv2.Interp
 module Term = Switchv_smt.Term
+module Telemetry = Switchv_telemetry.Telemetry
 
 let field_var ~header ~field = Printf.sprintf "in.%s.%s" header field
 let validity_var ~header = "valid." ^ header
@@ -270,6 +271,9 @@ let rec exec_control sym context = function
 (* --- top level ---------------------------------------------------------------------- *)
 
 let encode (program : Ast.program) entries =
+  Telemetry.with_span (Telemetry.get ()) "symbolic.encode"
+    ~attrs:[ ("program", program.p_name) ]
+  @@ fun () ->
   let state = State.create () in
   List.iter (fun e -> ignore (State.insert state e)) entries;
   let sym =

@@ -1,0 +1,451 @@
+type clock = unit -> float
+
+(* --- histograms ------------------------------------------------------------ *)
+
+(* Log-spaced latency buckets in seconds (1µs .. 10s); observations above
+   the last bound land in an implicit overflow bucket whose effective upper
+   edge is the maximum observed value. *)
+let default_bounds =
+  [| 1e-6; 2.5e-6; 5e-6; 1e-5; 2.5e-5; 5e-5; 1e-4; 2.5e-4; 5e-4; 1e-3; 2.5e-3;
+     5e-3; 1e-2; 2.5e-2; 5e-2; 0.1; 0.25; 0.5; 1.; 2.5; 5.; 10. |]
+
+type histogram = {
+  bounds : float array;
+  buckets : int array;               (* length = Array.length bounds + 1 *)
+  mutable h_count : int;
+  mutable h_sum : float;
+  mutable h_max : float;
+}
+
+let make_histogram () =
+  { bounds = default_bounds;
+    buckets = Array.make (Array.length default_bounds + 1) 0;
+    h_count = 0;
+    h_sum = 0.;
+    h_max = neg_infinity }
+
+let histogram_observe h v =
+  let n = Array.length h.bounds in
+  let rec find i = if i >= n || v <= h.bounds.(i) then i else find (i + 1) in
+  let i = find 0 in
+  h.buckets.(i) <- h.buckets.(i) + 1;
+  h.h_count <- h.h_count + 1;
+  h.h_sum <- h.h_sum +. v;
+  if v > h.h_max then h.h_max <- v
+
+(* Rank-based estimate with linear interpolation inside the target bucket:
+   a quantile whose rank falls exactly on a cumulative bucket edge returns
+   that bucket's upper bound exactly (deterministic for tests). *)
+let histogram_quantile h p =
+  if h.h_count = 0 then None
+  else begin
+    let target = p *. float_of_int h.h_count in
+    let nb = Array.length h.buckets in
+    let rec go i cum =
+      if i >= nb then h.h_max
+      else begin
+        let c = h.buckets.(i) in
+        let cum' = cum +. float_of_int c in
+        if c > 0 && cum' >= target then begin
+          let lo = if i = 0 then 0. else h.bounds.(i - 1) in
+          let hi = if i < Array.length h.bounds then h.bounds.(i) else h.h_max in
+          let frac = (target -. cum) /. float_of_int c in
+          let frac = if frac < 0. then 0. else if frac > 1. then 1. else frac in
+          lo +. ((hi -. lo) *. frac)
+        end
+        else go (i + 1) cum'
+      end
+    in
+    Some (go 0 0.)
+  end
+
+(* --- registry --------------------------------------------------------------- *)
+
+type sink = string -> unit
+
+type t = {
+  mutable clock : clock;
+  mutable on : bool;
+  mutable sink : sink option;
+  counters : (string, int ref) Hashtbl.t;
+  histograms : (string, histogram) Hashtbl.t;
+  mutable span_stack : string list;  (* innermost first *)
+  mutable seq : int;
+}
+
+let create ?(clock = Unix.gettimeofday) () =
+  { clock;
+    on = true;
+    sink = None;
+    counters = Hashtbl.create 64;
+    histograms = Hashtbl.create 32;
+    span_stack = [];
+    seq = 0 }
+
+let default = create ()
+
+let current = ref default
+
+let get () = !current
+
+let with_registry t f =
+  let previous = !current in
+  current := t;
+  Fun.protect ~finally:(fun () -> current := previous) f
+
+let set_clock t clock = t.clock <- clock
+let set_enabled t on = t.on <- on
+let enabled t = t.on
+
+let reset t =
+  Hashtbl.reset t.counters;
+  Hashtbl.reset t.histograms;
+  t.span_stack <- [];
+  t.seq <- 0
+
+(* --- counters --------------------------------------------------------------- *)
+
+let incr ?(n = 1) t name =
+  if t.on then begin
+    match Hashtbl.find_opt t.counters name with
+    | Some r -> r := !r + n
+    | None -> Hashtbl.replace t.counters name (ref n)
+  end
+
+let counter t name =
+  match Hashtbl.find_opt t.counters name with Some r -> !r | None -> 0
+
+(* --- histograms (registry level) --------------------------------------------- *)
+
+let observe t name v =
+  if t.on then begin
+    let h =
+      match Hashtbl.find_opt t.histograms name with
+      | Some h -> h
+      | None ->
+          let h = make_histogram () in
+          Hashtbl.replace t.histograms name h;
+          h
+    in
+    histogram_observe h v
+  end
+
+let quantile t name p =
+  match Hashtbl.find_opt t.histograms name with
+  | Some h -> histogram_quantile h p
+  | None -> None
+
+(* --- JSON ------------------------------------------------------------------- *)
+
+module Json = struct
+  let escape s =
+    let buf = Buffer.create (String.length s + 8) in
+    String.iter
+      (fun c ->
+        match c with
+        | '"' -> Buffer.add_string buf "\\\""
+        | '\\' -> Buffer.add_string buf "\\\\"
+        | '\n' -> Buffer.add_string buf "\\n"
+        | '\r' -> Buffer.add_string buf "\\r"
+        | '\t' -> Buffer.add_string buf "\\t"
+        | c when Char.code c < 0x20 ->
+            Buffer.add_string buf (Printf.sprintf "\\u%04x" (Char.code c))
+        | c -> Buffer.add_char buf c)
+      s;
+    Buffer.contents buf
+
+  let str s = "\"" ^ escape s ^ "\""
+
+  let num f =
+    match Float.classify_float f with
+    | FP_nan | FP_infinite -> "null"
+    | _ ->
+        (* Shortest representation that round-trips: %.12g covers most
+           values compactly; fall back to %.17g (always exact) when it
+           loses precision — absolute wall-clock timestamps need it. *)
+        let s = Printf.sprintf "%.12g" f in
+        let s = if float_of_string s = f then s else Printf.sprintf "%.17g" f in
+        (* "1e-06" is valid JSON; "1." is not. *)
+        if String.length s > 0 && s.[String.length s - 1] = '.' then s ^ "0" else s
+
+  let int i = string_of_int i
+  let bool b = if b then "true" else "false"
+
+  let obj fields =
+    "{" ^ String.concat "," (List.map (fun (k, v) -> str k ^ ":" ^ v) fields) ^ "}"
+
+  let arr items = "[" ^ String.concat "," items ^ "]"
+
+  (* Minimal validity parser for smoke tests (no construction of values). *)
+  let check s =
+    let n = String.length s in
+    let pos = ref 0 in
+    let error msg = failwith (Printf.sprintf "%s at offset %d" msg !pos) in
+    let peek () = if !pos < n then Some s.[!pos] else None in
+    let advance () = Stdlib.incr pos in
+    let skip_ws () =
+      while !pos < n && (match s.[!pos] with ' ' | '\t' | '\n' | '\r' -> true | _ -> false)
+      do advance () done
+    in
+    let expect c =
+      match peek () with
+      | Some c' when c' = c -> advance ()
+      | _ -> error (Printf.sprintf "expected %C" c)
+    in
+    let literal word =
+      String.iter (fun c -> expect c) word
+    in
+    let parse_string () =
+      expect '"';
+      let rec go () =
+        match peek () with
+        | None -> error "unterminated string"
+        | Some '"' -> advance ()
+        | Some '\\' ->
+            advance ();
+            (match peek () with
+            | Some ('"' | '\\' | '/' | 'b' | 'f' | 'n' | 'r' | 't') -> advance (); go ()
+            | Some 'u' ->
+                advance ();
+                for _ = 1 to 4 do
+                  match peek () with
+                  | Some ('0' .. '9' | 'a' .. 'f' | 'A' .. 'F') -> advance ()
+                  | _ -> error "bad \\u escape"
+                done;
+                go ()
+            | _ -> error "bad escape")
+        | Some _ -> advance (); go ()
+      in
+      go ()
+    in
+    let parse_number () =
+      let digits () =
+        let saw = ref false in
+        while (match peek () with Some ('0' .. '9') -> true | _ -> false) do
+          saw := true;
+          advance ()
+        done;
+        if not !saw then error "expected digit"
+      in
+      (match peek () with Some '-' -> advance () | _ -> ());
+      digits ();
+      (match peek () with
+      | Some '.' -> advance (); digits ()
+      | _ -> ());
+      match peek () with
+      | Some ('e' | 'E') ->
+          advance ();
+          (match peek () with Some ('+' | '-') -> advance () | _ -> ());
+          digits ()
+      | _ -> ()
+    in
+    let rec parse_value () =
+      skip_ws ();
+      match peek () with
+      | Some '{' ->
+          advance ();
+          skip_ws ();
+          if peek () = Some '}' then advance ()
+          else begin
+            let rec members () =
+              skip_ws ();
+              parse_string ();
+              skip_ws ();
+              expect ':';
+              parse_value ();
+              skip_ws ();
+              match peek () with
+              | Some ',' -> advance (); members ()
+              | Some '}' -> advance ()
+              | _ -> error "expected ',' or '}'"
+            in
+            members ()
+          end
+      | Some '[' ->
+          advance ();
+          skip_ws ();
+          if peek () = Some ']' then advance ()
+          else begin
+            let rec elements () =
+              parse_value ();
+              skip_ws ();
+              match peek () with
+              | Some ',' -> advance (); elements ()
+              | Some ']' -> advance ()
+              | _ -> error "expected ',' or ']'"
+            in
+            elements ()
+          end
+      | Some '"' -> parse_string ()
+      | Some 't' -> literal "true"
+      | Some 'f' -> literal "false"
+      | Some 'n' -> literal "null"
+      | Some ('-' | '0' .. '9') -> parse_number ()
+      | _ -> error "expected a JSON value"
+    in
+    match
+      parse_value ();
+      skip_ws ();
+      if !pos <> n then error "trailing input"
+    with
+    | () -> Ok ()
+    | exception Failure msg -> Error msg
+end
+
+(* --- spans / trace events ----------------------------------------------------- *)
+
+let set_sink t sink = t.sink <- sink
+let tracing t = t.on && t.sink <> None
+
+let attrs_field attrs =
+  match attrs with
+  | [] -> []
+  | attrs -> [ ("attrs", Json.obj (List.map (fun (k, v) -> (k, Json.str v)) attrs)) ]
+
+let emit t fields =
+  match t.sink with
+  | None -> ()
+  | Some write -> write (Json.obj fields)
+
+let parent_field t =
+  match t.span_stack with
+  | [] -> "null"
+  | parent :: _ -> Json.str parent
+
+let next_seq t =
+  let s = t.seq in
+  t.seq <- s + 1;
+  s
+
+let with_span ?(attrs = []) t name f =
+  if not t.on then f ()
+  else begin
+    let depth = List.length t.span_stack in
+    let start = t.clock () in
+    if tracing t then
+      emit t
+        ([ ("ev", Json.str "b"); ("span", Json.str name); ("ts", Json.num start);
+           ("depth", Json.int depth); ("parent", parent_field t);
+           ("seq", Json.int (next_seq t)) ]
+        @ attrs_field attrs);
+    t.span_stack <- name :: t.span_stack;
+    let finish () =
+      (match t.span_stack with _ :: rest -> t.span_stack <- rest | [] -> ());
+      let stop = t.clock () in
+      let dur = stop -. start in
+      observe t name dur;
+      if tracing t then
+        emit t
+          [ ("ev", Json.str "e"); ("span", Json.str name); ("ts", Json.num stop);
+            ("dur_s", Json.num dur); ("depth", Json.int depth);
+            ("seq", Json.int (next_seq t)) ]
+    in
+    match f () with
+    | v ->
+        finish ();
+        v
+    | exception e ->
+        finish ();
+        raise e
+  end
+
+let event ?(attrs = []) t name =
+  if tracing t then
+    emit t
+      ([ ("ev", Json.str "i"); ("span", Json.str name); ("ts", Json.num (t.clock ()));
+         ("depth", Json.int (List.length t.span_stack)); ("parent", parent_field t);
+         ("seq", Json.int (next_seq t)) ]
+      @ attrs_field attrs)
+
+let with_trace_channel t oc f =
+  let previous = t.sink in
+  set_sink t
+    (Some
+       (fun line ->
+         output_string oc line;
+         output_char oc '\n'));
+  Fun.protect
+    ~finally:(fun () ->
+      flush oc;
+      set_sink t previous)
+    f
+
+(* --- snapshots ---------------------------------------------------------------- *)
+
+type histogram_summary = {
+  hs_count : int;
+  hs_sum : float;
+  hs_p50 : float;
+  hs_p90 : float;
+  hs_p99 : float;
+  hs_max : float;
+}
+
+type snapshot = {
+  snap_counters : (string * int) list;
+  snap_histograms : (string * histogram_summary) list;
+}
+
+let snapshot t =
+  let counters =
+    Hashtbl.fold (fun name r acc -> (name, !r) :: acc) t.counters []
+    |> List.sort (fun (a, _) (b, _) -> String.compare a b)
+  in
+  let histograms =
+    Hashtbl.fold
+      (fun name h acc ->
+        if h.h_count = 0 then acc
+        else begin
+          let q p = Option.value ~default:0. (histogram_quantile h p) in
+          ( name,
+            { hs_count = h.h_count;
+              hs_sum = h.h_sum;
+              hs_p50 = q 0.5;
+              hs_p90 = q 0.9;
+              hs_p99 = q 0.99;
+              hs_max = h.h_max } )
+          :: acc
+        end)
+      t.histograms []
+    |> List.sort (fun (a, _) (b, _) -> String.compare a b)
+  in
+  { snap_counters = counters; snap_histograms = histograms }
+
+let pp_duration fmt s =
+  if s < 1e-3 then Format.fprintf fmt "%.0fµs" (s *. 1e6)
+  else if s < 1. then Format.fprintf fmt "%.2fms" (s *. 1e3)
+  else Format.fprintf fmt "%.2fs" s
+
+let pp_snapshot fmt snap =
+  Format.fprintf fmt "@[<v>";
+  if snap.snap_counters <> [] then begin
+    Format.fprintf fmt "telemetry counters:@,";
+    List.iter
+      (fun (name, v) -> Format.fprintf fmt "  %-40s %12d@," name v)
+      snap.snap_counters
+  end;
+  if snap.snap_histograms <> [] then begin
+    Format.fprintf fmt "telemetry latency (count / p50 / p90 / p99 / max / total):@,";
+    List.iter
+      (fun (name, h) ->
+        Format.fprintf fmt "  %-40s %8d  %a %a %a %a %a@," name h.hs_count pp_duration
+          h.hs_p50 pp_duration h.hs_p90 pp_duration h.hs_p99 pp_duration h.hs_max
+          pp_duration h.hs_sum)
+      snap.snap_histograms
+  end;
+  Format.fprintf fmt "@]"
+
+let snapshot_to_json snap =
+  Json.obj
+    [ ( "counters",
+        Json.obj (List.map (fun (name, v) -> (name, Json.int v)) snap.snap_counters) );
+      ( "histograms",
+        Json.obj
+          (List.map
+             (fun (name, h) ->
+               ( name,
+                 Json.obj
+                   [ ("count", Json.int h.hs_count); ("sum_s", Json.num h.hs_sum);
+                     ("p50_s", Json.num h.hs_p50); ("p90_s", Json.num h.hs_p90);
+                     ("p99_s", Json.num h.hs_p99); ("max_s", Json.num h.hs_max) ] ))
+             snap.snap_histograms) ) ]

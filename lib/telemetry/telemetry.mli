@@ -1,0 +1,155 @@
+(** Always-on observability for the validation pipeline.
+
+    SwitchV ran at Google as a continuous service whose coverage, latency,
+    and solver cost were monitored across nightly campaigns (§6–7). This
+    library is the measurement substrate for our reproduction: monotonic
+    {e counters}, fixed-bucket latency {e histograms} with quantile
+    estimation, and nestable timed {e spans} emitted as structured JSONL
+    trace events.
+
+    Everything hangs off a registry. A global default registry exists so
+    instrumented libraries need no API changes ("global but injectable"):
+    they call [Telemetry.get ()] at the instrumentation point, and tests or
+    embedders swap the registry with [with_registry] (and the clock with
+    [set_clock]) for determinism.
+
+    Cost model — what is safe on a hot path:
+    - counters and histogram observations are a hashtable lookup plus an
+      integer/float update; disabled registries short-circuit on one bool;
+    - spans read the clock twice and observe one histogram; JSON is only
+      formatted when a trace sink is installed ([tracing] is the cheap
+      enabled check);
+    - the innermost SAT loops carry no telemetry calls at all: solver
+      effort is recorded as per-[check] counter deltas in {!Solver}. *)
+
+type clock = unit -> float
+(** Seconds, as an absolute wall-clock timestamp. Injectable for tests. *)
+
+type t
+(** A registry of counters, histograms, and the active span stack. *)
+
+val create : ?clock:clock -> unit -> t
+(** Fresh, empty, enabled registry. Default clock is [Unix.gettimeofday]. *)
+
+val default : t
+(** The process-wide registry used by all instrumented libraries unless
+    overridden with [with_registry]. *)
+
+val get : unit -> t
+(** The currently-installed registry (the default unless inside
+    [with_registry]). Instrumentation sites call this at event time, never
+    at module-init time, so injection always wins. *)
+
+val with_registry : t -> (unit -> 'a) -> 'a
+(** Run the thunk with [t] installed as the current registry; restores the
+    previous registry afterwards (also on exceptions). *)
+
+val set_clock : t -> clock -> unit
+val set_enabled : t -> bool -> unit
+
+val enabled : t -> bool
+(** When false, every operation on the registry is a no-op behind a single
+    bool check. *)
+
+val reset : t -> unit
+(** Drop all counters, histograms, and any in-flight span state. Trace
+    sink, clock, and enabledness are kept. Tests call this between cases. *)
+
+(** {1 Counters} *)
+
+val incr : ?n:int -> t -> string -> unit
+(** Add [n] (default 1) to the named monotonic counter, creating it at 0
+    on first use. *)
+
+val counter : t -> string -> int
+(** Current value; 0 for a counter never incremented. *)
+
+(** {1 Histograms}
+
+    Fixed log-spaced latency buckets (1µs .. 10s plus overflow). Values are
+    in seconds. Quantiles are estimated by linear interpolation inside the
+    bucket containing the requested rank — exact at bucket boundaries. *)
+
+val observe : t -> string -> float -> unit
+
+val quantile : t -> string -> float -> float option
+(** [quantile t name p] for [p] in [0,1]; [None] if the histogram is empty
+    or absent. *)
+
+(** {1 Spans and trace events}
+
+    Spans nest: the registry tracks the active stack, so every event
+    carries its depth and parent. With a sink installed, each span emits a
+    begin and an end JSONL event; with no sink, the span still feeds the
+    histogram named after it (that is how "Generation"/"Testing" latency
+    tables are produced without tracing). *)
+
+type sink = string -> unit
+(** Receives one JSON object per call, without the trailing newline. *)
+
+val set_sink : t -> sink option -> unit
+
+val tracing : t -> bool
+(** Whether a sink is installed — the guard instrumentation uses before
+    doing any per-event string formatting. *)
+
+val with_span : ?attrs:(string * string) list -> t -> string -> (unit -> 'a) -> 'a
+(** Time the thunk as a span named [name]. Observes the duration into the
+    histogram of the same name; emits begin/end trace events when tracing.
+    Exception-safe: the span is closed (and emitted) on raise. *)
+
+val event : ?attrs:(string * string) list -> t -> string -> unit
+(** An instant (zero-duration) trace event at the current depth. No-op
+    unless tracing. *)
+
+val with_trace_channel : t -> out_channel -> (unit -> 'a) -> 'a
+(** Install a line-writing sink over the channel for the duration of the
+    thunk, restoring the previous sink (and flushing) afterwards. *)
+
+(** {1 Snapshots} *)
+
+type histogram_summary = {
+  hs_count : int;
+  hs_sum : float;            (** total observed seconds *)
+  hs_p50 : float;
+  hs_p90 : float;
+  hs_p99 : float;
+  hs_max : float;
+}
+
+type snapshot = {
+  snap_counters : (string * int) list;                 (** sorted by name *)
+  snap_histograms : (string * histogram_summary) list; (** sorted by name *)
+}
+
+val snapshot : t -> snapshot
+
+val pp_snapshot : Format.formatter -> snapshot -> unit
+(** Human-readable two-section table (counters, then latency quantiles). *)
+
+val snapshot_to_json : snapshot -> string
+(** One-line JSON object: [{"counters":{...},"histograms":{...}}]. *)
+
+(** {1 JSON helpers}
+
+    A hand-rolled, dependency-free JSON emitter (and a validity checker for
+    smoke tests) shared by the trace sink, [snapshot_to_json], and
+    [Report.to_json]. Emitter values are already-rendered JSON fragments. *)
+
+module Json : sig
+  val str : string -> string
+  (** Quoted and escaped JSON string literal. *)
+
+  val num : float -> string
+  (** Finite floats; NaN/infinities are rendered as [null]. *)
+
+  val int : int -> string
+  val bool : bool -> string
+  val obj : (string * string) list -> string
+  val arr : string list -> string
+
+  val check : string -> (unit, string) result
+  (** Minimal recursive-descent validator: is the input one well-formed
+      JSON value? Used to smoke-test emitted documents without a JSON
+      dependency. *)
+end
