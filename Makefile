@@ -1,6 +1,8 @@
 # Convenience targets; everything is plain dune underneath.
 
-.PHONY: all build check test bench bench-quick micro examples clean
+.PHONY: all build check test bench bench-quick micro examples lint-models clean
+
+MODELS = middleblock tor wan cerberus figure2
 
 all: build
 
@@ -8,10 +10,23 @@ build:
 	dune build @all
 
 # CI entry point: everything (library, CLI, bench, examples, tests) compiles
-# with the dev profile's warnings-as-errors, and the whole suite passes.
+# with the dev profile's warnings-as-errors, the whole suite passes, and
+# every shipped model is lint-clean at severity error.
 check:
 	dune build @all
 	dune runtest
+	$(MAKE) lint-models
+
+# Static-analysis gate: every built-in role model and every example model
+# must carry zero error-severity findings (warnings/info are advisory and
+# printed for the record). `switchv lint` exits non-zero on errors.
+lint-models:
+	for m in $(MODELS); do \
+	  dune exec bin/switchv_cli.exe -- lint -m $$m --severity error || exit 1; \
+	done
+	for f in examples/models/*.p4; do \
+	  dune exec bin/switchv_cli.exe -- lint -f $$f --severity error || exit 1; \
+	done
 
 test:
 	dune runtest

@@ -4,6 +4,7 @@
      validate   — full nightly validation (fuzzer + oracle, symbolic + diff)
      fuzz       — control-plane campaign only
      genpackets — p4-symbolic packet generation only
+     lint       — static analysis diagnostics (CFG + dataflow + BDD)
      trivial    — the §6.2 trivial integration-test suite
      model      — print a P4 model or its P4Info ("living documentation")
      catalogue  — list the seeded-bug catalogue
@@ -27,6 +28,8 @@ module Symexec = Switchv_symbolic.Symexec
 module Packetgen = Switchv_symbolic.Packetgen
 module Cache = Switchv_symbolic.Cache
 module Telemetry = Switchv_telemetry.Telemetry
+module Analysis = Switchv_analysis.Analysis
+module Diagnostics = Switchv_analysis.Diagnostics
 
 open Cmdliner
 
@@ -182,7 +185,7 @@ let fuzz_cmd =
 (* --- genpackets ---------------------------------------------------------------- *)
 
 let genpackets_cmd =
-  let run program seed scale cache_dir verbose trace_tables =
+  let run program seed scale cache_dir verbose trace_tables no_prune =
     let entries = workload program scale seed in
     let t0 = Unix.gettimeofday () in
     let encoding = Symexec.encode program entries in
@@ -190,6 +193,13 @@ let genpackets_cmd =
       match trace_tables with
       | [] -> Packetgen.entry_coverage_goals encoding
       | tables -> Packetgen.trace_coverage_goals encoding ~tables
+    in
+    let goals =
+      if no_prune then goals
+      else
+        Packetgen.prune_goals
+          (Analysis.facts ~check_restrictions:false program)
+          goals
     in
     let cache = Option.map Cache.on_disk cache_dir in
     let result = Packetgen.generate ?cache encoding goals in
@@ -219,11 +229,71 @@ let genpackets_cmd =
           ~doc:
             "Comma-separated table names: cover the cross-product of their              trace points instead of per-entry coverage (§5's selective              trace coverage).")
   in
+  let no_prune =
+    Arg.(
+      value & flag
+      & info [ "no-prune" ]
+          ~doc:
+            "Keep coverage goals the static analysis proved uncoverable \
+             (dead tables, statically-decided branches) instead of pruning \
+             them before the SMT stage.")
+  in
   Cmd.v
     (Cmd.info "genpackets" ~doc)
     Term.(
       const run $ model_arg $ seed_arg $ scale_arg $ cache_dir_arg $ verbose
-      $ trace_tables)
+      $ trace_tables $ no_prune)
+
+(* --- lint ------------------------------------------------------------------------ *)
+
+let lint_cmd =
+  let run program min_severity no_restrictions =
+    let report =
+      Analysis.run ~check_restrictions:(not no_restrictions) program
+    in
+    let shown = Diagnostics.filter ~min_severity report.Analysis.r_diagnostics in
+    List.iter (fun d -> Format.printf "%a@." Diagnostics.pp d) shown;
+    Format.printf "%s: %a@." program.Ast.p_name Diagnostics.pp_summary
+      report.Analysis.r_diagnostics;
+    if Diagnostics.has_errors report.Analysis.r_diagnostics then
+      Error (false, "lint errors reported")
+    else Ok ()
+  in
+  let severity_arg =
+    let doc =
+      "Only print findings at or above this severity: $(b,error), \
+       $(b,warning), or $(b,info). The exit status always reflects \
+       error-severity findings, whatever is printed."
+    in
+    Arg.(
+      value
+      & opt
+          (enum
+             [ ("error", Diagnostics.Error); ("warning", Diagnostics.Warning);
+               ("info", Diagnostics.Info) ])
+          Diagnostics.Info
+      & info [ "severity" ] ~docv:"SEVERITY" ~doc)
+  in
+  let no_restrictions =
+    Arg.(
+      value & flag
+      & info [ "no-restrictions" ]
+          ~doc:
+            "Skip the BDD entry-restriction satisfiability check (the only \
+             non-linear pass).")
+  in
+  let doc =
+    "Statically analyse a P4 model: CFG + dataflow diagnostics (header \
+     validity, reachability, constant propagation) and entry-restriction \
+     satisfiability. Exits non-zero when error-severity findings exist."
+  in
+  Cmd.v
+    (Cmd.info "lint" ~doc)
+    Term.(
+      term_result' ~usage:false
+        (const (fun p sev nr ->
+             match run p sev nr with Ok () -> Ok () | Error (_, m) -> Error m)
+        $ model_arg $ severity_arg $ no_restrictions))
 
 (* --- trivial --------------------------------------------------------------------- *)
 
@@ -305,5 +375,5 @@ let () =
   exit
     (Cmd.eval
        (Cmd.group info
-          [ validate_cmd; fuzz_cmd; genpackets_cmd; trivial_cmd; model_cmd;
-            metrics_cmd; catalogue_cmd ]))
+          [ validate_cmd; fuzz_cmd; genpackets_cmd; lint_cmd; trivial_cmd;
+            model_cmd; metrics_cmd; catalogue_cmd ]))

@@ -1,0 +1,60 @@
+(** An explicit control-flow graph over {!Switchv_p4ir.Ast.program}.
+
+    The graph covers the whole per-packet path: parser states (with their
+    select transitions), then the ingress pipeline, then the egress
+    pipeline, then exit. Pipeline conditionals become two-successor
+    condition nodes; a table application expands into a table node fanning
+    out to one node per permitted action ({e hit} edges) plus one node for
+    the default action ({e miss} edge), all rejoining at the table's
+    successor — so per-action effects and reachability are first-class.
+
+    Condition nodes carry a branch id assigned in the same pre-order the
+    symbolic engine uses ({!Switchv_symbolic.Symexec} numbers its
+    [branch.N.then]/[branch.N.else] trace labels by incrementing a counter
+    at each [C_if], ingress before egress, then-arm before else-arm).
+    Analyses can therefore name symbolic branch goals without re-running
+    the encoder; {!Analysis} relies on this to translate dead branches
+    into prunable goal labels. *)
+
+module Ast = Switchv_p4ir.Ast
+
+type action_role =
+  | Hit   (** the table matched an entry invoking this action *)
+  | Miss  (** no entry matched; the default action runs *)
+
+type node_kind =
+  | N_entry
+  | N_exit
+  | N_parser_state of Ast.parser_state
+  | N_parser_accept  (** parsing finished; successor is the ingress entry *)
+  | N_stmt of Ast.stmt
+  | N_cond of int * Ast.bexpr
+      (** branch id (Symexec numbering) and the condition. Successors are
+          positional: index 0 is the then-arm, index 1 the else-arm. *)
+  | N_table of Ast.table
+  | N_action of Ast.table * string * action_role
+
+type node = {
+  n_id : int;
+  n_kind : node_kind;
+  n_where : string;  (** ["parser"], ["ingress"], ["egress"], or [""] *)
+  mutable n_succ : int list;
+  mutable n_pred : int list;
+}
+
+type t = {
+  program : Ast.program;
+  nodes : node array;  (** indexed by [n_id] *)
+  entry : int;
+  exit_ : int;
+}
+
+val build : Ast.program -> t
+(** Unknown table names in a pipeline and transitions to unknown parser
+    states (both typecheck errors) are skipped rather than represented. *)
+
+val node_loc : node -> string
+(** Human-readable location for diagnostics, e.g. ["table ipv4_table"],
+    ["parser state parse_ipv4"], ["ingress"]. *)
+
+val iter : (node -> unit) -> t -> unit

@@ -1,0 +1,67 @@
+module type DOMAIN = sig
+  type t
+
+  val equal : t -> t -> bool
+  val join : t -> t -> t
+  val widen : t -> t -> t
+end
+
+type 'a result = { before : 'a option array; after : 'a option array }
+
+(* After this many arrivals at one node we switch from [join] to [widen];
+   pipeline CFGs are DAGs so this only matters for cyclic parsers. *)
+let widen_threshold = 16
+
+module Forward (D : DOMAIN) = struct
+  let run ?edge (cfg : Cfg.t) ~init ~transfer =
+    let n = Array.length cfg.nodes in
+    let before = Array.make n None in
+    let after = Array.make n None in
+    let visits = Array.make n 0 in
+    let in_wl = Array.make n false in
+    let wl = Queue.create () in
+    let push id =
+      if not in_wl.(id) then begin
+        in_wl.(id) <- true;
+        Queue.add id wl
+      end
+    in
+    let arrive id fact =
+      let combined, changed =
+        match before.(id) with
+        | None -> (fact, true)
+        | Some old ->
+            let combine =
+              if visits.(id) >= widen_threshold then D.widen else D.join
+            in
+            let c = combine old fact in
+            (c, not (D.equal c old))
+      in
+      if changed then begin
+        before.(id) <- Some combined;
+        visits.(id) <- visits.(id) + 1;
+        push id
+      end
+    in
+    arrive cfg.entry init;
+    while not (Queue.is_empty wl) do
+      let id = Queue.pop wl in
+      in_wl.(id) <- false;
+      match before.(id) with
+      | None -> ()
+      | Some fact ->
+          let node = cfg.nodes.(id) in
+          let out = transfer node fact in
+          after.(id) <- Some out;
+          List.iteri
+            (fun i succ ->
+              match edge with
+              | None -> arrive succ out
+              | Some f -> (
+                  match f node i out with
+                  | None -> ()
+                  | Some refined -> arrive succ refined))
+            node.Cfg.n_succ
+    done;
+    { before; after }
+end

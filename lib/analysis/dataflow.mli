@@ -1,0 +1,43 @@
+(** A small forward-dataflow framework over {!Cfg}.
+
+    Instantiate {!Forward} with a join-semilattice and run a worklist
+    fixpoint. Facts flow along CFG edges; a node with no incoming fact is
+    unreachable and its transfer never runs, so analyses get reachability
+    pruning for free. The optional [edge] callback can refine the fact per
+    outgoing edge (e.g. "the then-edge of [isValid(ipv4)] implies ipv4 is
+    valid") or kill the edge entirely by returning [None] — which is how
+    conditional constant propagation stops facts from flowing into
+    statically-dead arms. *)
+
+module type DOMAIN = sig
+  type t
+
+  val equal : t -> t -> bool
+
+  val join : t -> t -> t
+  (** Least upper bound of facts arriving over different edges. *)
+
+  val widen : t -> t -> t
+  (** [widen old new_] accelerates convergence on cycles (parser loops).
+      Called instead of [join] once a node has been revisited many times;
+      a domain of finite height can make this [join]. *)
+end
+
+type 'a result = {
+  before : 'a option array;
+      (** fact at node entry, indexed by node id; [None] = unreachable *)
+  after : 'a option array;  (** fact at node exit *)
+}
+
+module Forward (D : DOMAIN) : sig
+  val run :
+    ?edge:(Cfg.node -> int -> D.t -> D.t option) ->
+    Cfg.t ->
+    init:D.t ->
+    transfer:(Cfg.node -> D.t -> D.t) ->
+    D.t result
+  (** [run ?edge cfg ~init ~transfer] seeds the CFG entry node with [init]
+      and iterates to a fixpoint. [edge node i fact] refines the [after]
+      fact of [node] for its [i]-th successor; returning [None] kills that
+      edge. *)
+end

@@ -1,0 +1,64 @@
+type severity = Error | Warning | Info
+
+let severity_to_string = function
+  | Error -> "error"
+  | Warning -> "warning"
+  | Info -> "info"
+
+let severity_of_string = function
+  | "error" -> Some Error
+  | "warning" | "warn" -> Some Warning
+  | "info" -> Some Info
+  | _ -> None
+
+let severity_rank = function Error -> 2 | Warning -> 1 | Info -> 0
+
+type t = {
+  d_code : string;
+  d_severity : severity;
+  d_loc : string;
+  d_message : string;
+}
+
+let make d_code d_severity ~loc fmt =
+  Printf.ksprintf
+    (fun d_message -> { d_code; d_severity; d_loc = loc; d_message })
+    fmt
+
+let error code ~loc fmt = make code Error ~loc fmt
+let warning code ~loc fmt = make code Warning ~loc fmt
+let info code ~loc fmt = make code Info ~loc fmt
+
+let filter ~min_severity ds =
+  List.filter (fun d -> severity_rank d.d_severity >= severity_rank min_severity) ds
+
+let has_errors ds = List.exists (fun d -> d.d_severity = Error) ds
+
+let count sev ds = List.length (List.filter (fun d -> d.d_severity = sev) ds)
+
+let dedup ds =
+  let seen = Hashtbl.create 16 in
+  List.filter
+    (fun d ->
+      let key = (d.d_code, d.d_loc, d.d_message) in
+      if Hashtbl.mem seen key then false
+      else begin
+        Hashtbl.add seen key ();
+        true
+      end)
+    ds
+
+let sort ds =
+  List.stable_sort
+    (fun a b -> compare (severity_rank b.d_severity) (severity_rank a.d_severity))
+    ds
+
+let pp fmt d =
+  Format.fprintf fmt "%s[%s] %s: %s"
+    (severity_to_string d.d_severity)
+    d.d_code d.d_loc d.d_message
+
+let pp_summary fmt ds =
+  let plural n = if n = 1 then "" else "s" in
+  let e = count Error ds and w = count Warning ds and i = count Info ds in
+  Format.fprintf fmt "%d error%s, %d warning%s, %d info" e (plural e) w (plural w) i

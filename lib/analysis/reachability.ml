@@ -1,0 +1,26 @@
+module Domain = struct
+  type t = unit
+
+  let equal () () = true
+  let join () () = ()
+  let widen () () = ()
+end
+
+module F = Dataflow.Forward (Domain)
+
+type t = { reach : bool array }
+
+let analyze (cfg : Cfg.t) ~verdict =
+  let edge (node : Cfg.node) i () =
+    match node.Cfg.n_kind with
+    | Cfg.N_cond (id, _) -> (
+        match verdict id with
+        | Some true when i = 1 -> None
+        | Some false when i = 0 -> None
+        | _ -> Some ())
+    | _ -> Some ()
+  in
+  let res = F.run ~edge cfg ~init:() ~transfer:(fun _ () -> ()) in
+  { reach = Array.map Option.is_some res.Dataflow.before }
+
+let reachable t id = t.reach.(id)

@@ -1,0 +1,17 @@
+(** Reachability over {!Cfg}, refined by {!Constprop} branch verdicts.
+
+    A trivial instantiation of the dataflow framework: the unit fact flows
+    everywhere except across branch edges whose arm the constant
+    propagation decided can never execute. A node is reachable iff a fact
+    arrives at it. Downstream, unreachable table nodes become [P4A003],
+    unreachable parser states [P4A005], and tables with no node at all
+    (never applied) [P4A007]. *)
+
+type t
+
+val analyze : Cfg.t -> verdict:(int -> bool option) -> t
+(** [verdict] is {!Constprop.verdict}: [Some true] kills the else edge of
+    that branch, [Some false] the then edge. *)
+
+val reachable : t -> int -> bool
+(** By node id. *)

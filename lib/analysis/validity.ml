@@ -1,0 +1,148 @@
+module Ast = Switchv_p4ir.Ast
+module SMap = Map.Make (String)
+
+type v = Must_valid | Must_invalid | Maybe
+type fact = v SMap.t
+
+let valid_at fact h =
+  match SMap.find_opt h fact with Some x -> x | None -> Must_invalid
+
+module Domain = struct
+  type t = fact
+
+  let equal = SMap.equal ( = )
+
+  let join a b =
+    SMap.merge
+      (fun _ x y ->
+        match (x, y) with
+        | Some a, Some b -> Some (if a = b then a else Maybe)
+        | Some Must_invalid, None | None, Some Must_invalid -> Some Must_invalid
+        | Some _, None | None, Some _ -> Some Maybe
+        | None, None -> None)
+      a b
+
+  (* Finite height (3 per header), so joining converges without a real
+     widening operator. *)
+  let widen = join
+end
+
+module F = Dataflow.Forward (Domain)
+
+let apply_stmt fact = function
+  | Ast.S_set_valid (h, b) ->
+      SMap.add h (if b then Must_valid else Must_invalid) fact
+  | Ast.S_assign _ | Ast.S_nop -> fact
+
+let action_body program name =
+  match Ast.find_action program name with Some a -> a.Ast.a_body | None -> []
+
+let transfer program (node : Cfg.node) fact =
+  match node.Cfg.n_kind with
+  | Cfg.N_parser_state { ps_extract = Some h; _ } -> SMap.add h Must_valid fact
+  | Cfg.N_stmt s -> apply_stmt fact s
+  | Cfg.N_action (_, name, _) ->
+      List.fold_left apply_stmt fact (action_body program name)
+  | _ -> fact
+
+(* What a branch edge implies about header validity: [assume pol cond]
+   under positive polarity strengthens headers guarded by [isValid]. Only
+   implications that hold on the chosen edge are applied (conjuncts on the
+   true edge, disjuncts on the false edge). *)
+let rec assume pol cond fact =
+  match cond with
+  | Ast.B_is_valid h ->
+      SMap.add h (if pol then Must_valid else Must_invalid) fact
+  | Ast.B_not c -> assume (not pol) c fact
+  | Ast.B_and (a, b) when pol -> assume true b (assume true a fact)
+  | Ast.B_or (a, b) when not pol -> assume false b (assume false a fact)
+  | _ -> fact
+
+let edge (node : Cfg.node) i fact =
+  match node.Cfg.n_kind with
+  | Cfg.N_cond (_, cond) -> Some (assume (i = 0) cond fact)
+  | _ -> Some fact
+
+let analyze (cfg : Cfg.t) =
+  F.run ~edge cfg ~init:SMap.empty ~transfer:(transfer cfg.Cfg.program)
+
+(* ---- read checking ---- *)
+
+let rec expr_reads acc = function
+  | Ast.E_const _ | Ast.E_param _ -> acc
+  | Ast.E_field fr -> fr :: acc
+  | Ast.E_not a | Ast.E_slice (_, _, a) -> expr_reads acc a
+  | Ast.E_and (a, b) | Ast.E_or (a, b) | Ast.E_xor (a, b) | Ast.E_add (a, b)
+  | Ast.E_sub (a, b) | Ast.E_concat (a, b) ->
+      expr_reads (expr_reads acc a) b
+  | Ast.E_hash (_, es) -> List.fold_left expr_reads acc es
+
+let rec bexpr_reads acc = function
+  | Ast.B_true | Ast.B_false | Ast.B_is_valid _ -> acc
+  | Ast.B_eq (a, b) | Ast.B_ne (a, b) | Ast.B_ult (a, b) | Ast.B_ule (a, b) ->
+      expr_reads (expr_reads acc a) b
+  | Ast.B_not c -> bexpr_reads acc c
+  | Ast.B_and (a, b) | Ast.B_or (a, b) -> bexpr_reads (bexpr_reads acc a) b
+
+let check_reads ?(reachable = fun _ -> true) (cfg : Cfg.t)
+    (res : fact Dataflow.result) =
+  let program = cfg.Cfg.program in
+  let diags = ref [] in
+  let check loc fact fr =
+    let h = fr.Ast.fr_header in
+    if
+      (not (String.equal h "meta"))
+      && (not (String.equal h "std"))
+      && Ast.find_header program h <> None
+    then
+      let field = Ast.field_ref_to_string fr in
+      match valid_at fact h with
+      | Must_valid -> ()
+      | Must_invalid ->
+          diags :=
+            Diagnostics.error "P4A001" ~loc
+              "field %s is read but header %s is never valid here" field h
+            :: !diags
+      | Maybe ->
+          diags :=
+            Diagnostics.warning "P4A002" ~loc
+              "field %s is read but header %s is not provably valid on every \
+               path"
+              field h
+            :: !diags
+  in
+  let check_expr loc fact e = List.iter (check loc fact) (expr_reads [] e) in
+  Cfg.iter
+    (fun node ->
+      match res.Dataflow.before.(node.Cfg.n_id) with
+      | None -> () (* unreachable: no read ever happens here *)
+      | Some _ when not (reachable node.Cfg.n_id) -> ()
+      | Some fact -> (
+          let loc = Cfg.node_loc node in
+          match node.Cfg.n_kind with
+          | Cfg.N_parser_state ({ ps_next = Ast.T_select (e, _, _); _ } as s) ->
+              (* the select expression reads after the state's extract *)
+              let fact =
+                match s.Ast.ps_extract with
+                | Some h -> SMap.add h Must_valid fact
+                | None -> fact
+              in
+              check_expr loc fact e
+          | Cfg.N_stmt (Ast.S_assign (_, e)) -> check_expr loc fact e
+          | Cfg.N_cond (_, cond) ->
+              List.iter (check loc fact) (bexpr_reads [] cond)
+          | Cfg.N_table t ->
+              List.iter (fun k -> check_expr loc fact k.Ast.k_expr) t.Ast.t_keys
+          | Cfg.N_action (_, name, _) ->
+              ignore
+                (List.fold_left
+                   (fun fact stmt ->
+                     (match stmt with
+                     | Ast.S_assign (_, e) -> check_expr loc fact e
+                     | Ast.S_set_valid _ | Ast.S_nop -> ());
+                     apply_stmt fact stmt)
+                   fact
+                   (action_body program name))
+          | _ -> ()))
+    cfg;
+  List.rev !diags

@@ -1,0 +1,32 @@
+(** Header-validity analysis (forward, over {!Cfg}).
+
+    Tracks, for every header, whether it is provably valid, provably
+    invalid, or only possibly valid at each program point. Headers start
+    invalid; parser [extract]s and [S_set_valid] make them valid (or
+    invalid again — decap); [isValid] guards refine the fact on each
+    branch edge. [check_reads] then flags field reads of headers that are
+    never valid at the read ([P4A001], includes [setInvalid]-then-read)
+    or not provably valid on every path ([P4A002]). *)
+
+module Ast = Switchv_p4ir.Ast
+module SMap : Map.S with type key = string
+
+type v = Must_valid | Must_invalid | Maybe
+
+type fact = v SMap.t
+(** Headers absent from the map are treated as [Must_invalid]. *)
+
+val valid_at : fact -> string -> v
+
+val analyze : Cfg.t -> fact Dataflow.result
+
+val check_reads :
+  ?reachable:(int -> bool) -> Cfg.t -> fact Dataflow.result -> Diagnostics.t list
+(** Walks every reachable node's field reads ([reachable] — typically
+    {!Reachability.reachable} — further excludes nodes the refined
+    reachability analysis proved dead, so reads on statically-dead arms
+    are not flagged) (statement right-hand sides,
+    branch conditions, table keys, select expressions, action bodies —
+    tracking validity changes within a body) and reports [P4A001]/[P4A002].
+    Reads of ["meta"]/["std"] fields and of headers unknown to the program
+    (a typecheck error) are ignored. *)

@@ -17,6 +17,7 @@ type config = {
   ports : int list;
   extra_goals : Symexec.encoding -> Packetgen.goal list;
   include_branch_goals : bool;
+  prune_dead_goals : bool;
   cache : Cache.t option;
   max_incidents : int;
   test_packet_io : bool;
@@ -24,7 +25,7 @@ type config = {
 
 let default_config entries =
   { entries; ports = [ 1; 2; 3; 4 ]; extra_goals = (fun _ -> []);
-    include_branch_goals = true;
+    include_branch_goals = true; prune_dead_goals = true;
     cache = None; max_incidents = 25; test_packet_io = true }
 
 let exploratory_goals (enc : Symexec.encoding) =
@@ -166,6 +167,19 @@ let run ?(push_p4info = true) stack config =
                Packetgen.branch_coverage_goals ~prefer encoding
              else [])
           @ config.extra_goals encoding
+        in
+        (* Static analysis proves some goals uncoverable (dead tables,
+           statically-decided branches); dropping them saves the SMT
+           queries without changing any divergence result. The BDD
+           restriction check is skipped: it finds uninstallable tables,
+           which cannot affect goals over *installed* entries. *)
+        let goals =
+          if config.prune_dead_goals then
+            Packetgen.prune_goals
+              (Switchv_analysis.Analysis.facts ~check_restrictions:false
+                 (Stack.program stack))
+              goals
+          else goals
         in
         let generated =
           Packetgen.generate ~ports:config.ports ?cache:config.cache encoding goals

@@ -19,6 +19,12 @@ type config = {
   extra_goals : Switchv_symbolic.Symexec.encoding -> Packetgen.goal list;
       (** tester-provided coverage assertions, built once the encoding exists *)
   include_branch_goals : bool;
+  prune_dead_goals : bool;
+      (** drop goals static analysis proves uncoverable (dead tables,
+          statically-decided branches) before the SMT stage; on by
+          default. Sound: pruned goals would be classified uncoverable by
+          the solver anyway, so divergence results are unchanged — the
+          saving shows up in the [analysis.goals_pruned] counter. *)
   cache : Cache.t option;
   max_incidents : int;
   test_packet_io : bool;

@@ -31,10 +31,14 @@ type t = {
   bdds : (string, Bdd.compiled option) Hashtbl.t;
       (* per-table compiled entry restriction (None = unsupported), for the
          BDD-based constraint sampling of §7 *)
+  dead : (string, bool) Hashtbl.t;
+      (* tables whose restriction is unsatisfiable (analysis code P4A004):
+         valid-insert generation skips them *)
 }
 
 let create ?(config = default_config) info rng =
-  { info; rng; config; mirror_ = State.create (); bdds = Hashtbl.create 8 }
+  { info; rng; config; mirror_ = State.create (); bdds = Hashtbl.create 8;
+    dead = Hashtbl.create 8 }
 
 (* Compile a table's entry restriction to a BDD over the bits of the keys
    it references (§7). Unsupported shapes (LPM keys, ::prefix_length)
@@ -68,6 +72,22 @@ let table_bdd t (ti : P4info.table) =
       in
       Hashtbl.replace t.bdds ti.ti_name compiled;
       compiled
+
+(* A table whose entry restriction admits zero assignments can never
+   accept a valid insert: every generation attempt would be rejected by
+   validation. The static analysis reports these as P4A004; here the
+   fuzzer independently reuses the compiled BDD to skip them. *)
+let table_dead t (ti : P4info.table) =
+  match Hashtbl.find_opt t.dead ti.ti_name with
+  | Some d -> d
+  | None ->
+      let d =
+        match table_bdd t ti with
+        | Some c -> Bdd.model_count c = 0.
+        | None -> false
+      in
+      Hashtbl.replace t.dead ti.ti_name d;
+      d
 
 (* Rewrite the entry's matches on the sampled keys. A zero ternary mask
    means the key is omitted. *)
@@ -336,18 +356,27 @@ let gen_entry t ctx (ti : P4info.table) =
         Some entry
   end
 
+let skip_dead t ti =
+  table_dead t ti
+  && begin
+       Telemetry.incr (Telemetry.get ()) "analysis.dead_tables_skipped";
+       true
+     end
+
 let rec gen_valid_insert t ctx attempts =
   if attempts = 0 then None
   else begin
     let ti = Rng.choose t.rng t.info.pi_tables in
-    match gen_entry t ctx ti with
-    | Some e
-      when State.find t.mirror_ e = None
-           && (not (Hashtbl.mem ctx.taken (Entry.match_key e)))
-           && State.count t.mirror_ ti.ti_name + pending_inserts ctx ti.ti_name
-              < ti.ti_size ->
-        Some e
-    | _ -> gen_valid_insert t ctx (attempts - 1)
+    if skip_dead t ti then gen_valid_insert t ctx (attempts - 1)
+    else
+      match gen_entry t ctx ti with
+      | Some e
+        when State.find t.mirror_ e = None
+             && (not (Hashtbl.mem ctx.taken (Entry.match_key e)))
+             && State.count t.mirror_ ti.ti_name + pending_inserts ctx ti.ti_name
+                < ti.ti_size ->
+          Some e
+      | _ -> gen_valid_insert t ctx (attempts - 1)
   end
 
 let mirror_ref_index t ctx =
@@ -722,9 +751,11 @@ let sweep t =
     end
   in
   (* Phase 1: valid inserts, a few per table, one batch per dependency
-     rank (entries must not reference same-batch inserts). *)
+     rank (entries must not reference same-batch inserts). Tables whose
+     restriction admits no entry are skipped outright. *)
   List.iter
     (fun (ti : P4info.table) ->
+      if not (skip_dead t ti) then begin
       let ctx = fresh_ctx () in
       let updates = ref [] in
       let pending = ref [] in
@@ -742,7 +773,8 @@ let sweep t =
             pending := (Request.Insert, e) :: !pending
         | _ -> ()
       done;
-      flush_batch !updates !pending)
+      flush_batch !updates !pending
+      end)
     tables;
   (* Phase 2: one valid modify and one valid delete per table. *)
   List.iter

@@ -13,6 +13,8 @@ let field_ref_to_string fr = fr.fr_header ^ "." ^ fr.fr_field
 let field_ref_of_string s =
   match String.index_opt s '.' with
   | None -> invalid_arg ("Ast.field_ref_of_string: no dot in " ^ s)
+  | Some i when i = 0 || i = String.length s - 1 ->
+      invalid_arg ("Ast.field_ref_of_string: empty component in " ^ s)
   | Some i ->
       { fr_header = String.sub s 0 i;
         fr_field = String.sub s (i + 1) (String.length s - i - 1) }

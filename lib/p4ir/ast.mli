@@ -34,6 +34,10 @@ val field_ref_to_string : field_ref -> string
 (** Dotted form, e.g. ["ipv4.dst_addr"]. *)
 
 val field_ref_of_string : string -> field_ref
+(** Inverse of {!field_ref_to_string}: splits at the {e first} ['.'], so
+    field names may contain dots but header names may not (none of the
+    standard headers do). Raises [Invalid_argument] when the string has no
+    dot or either component is empty. *)
 
 (** {1 Standard metadata}
 

@@ -257,7 +257,21 @@ let check program =
   check_control "ingress" program.p_ingress;
   check_control "egress" program.p_egress;
 
-  match List.rev !errors with [] -> Ok () | msgs -> Error msgs
+  (* The same defect can be reported from several walks (e.g. an unknown
+     metadata field read in both pipelines); keep the first occurrence of
+     each message so callers see each problem once, in discovery order. *)
+  let seen = Hashtbl.create 16 in
+  let msgs =
+    List.filter
+      (fun m ->
+        if Hashtbl.mem seen m then false
+        else begin
+          Hashtbl.add seen m ();
+          true
+        end)
+      (List.rev !errors)
+  in
+  match msgs with [] -> Ok () | msgs -> Error msgs
 
 let check_exn program =
   match check program with

@@ -9,7 +9,8 @@
     paper discusses in §3). *)
 
 val check : Ast.program -> (unit, string list) result
-(** [Error msgs] lists every problem found (not just the first). *)
+(** [Error msgs] lists every problem found (not just the first),
+    deduplicated, in first-occurrence order. *)
 
 val check_exn : Ast.program -> unit
 (** Raises [Invalid_argument] with all messages joined. *)

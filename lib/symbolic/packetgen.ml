@@ -95,6 +95,44 @@ let trace_coverage_goals ?(prefer = Term.tru) ?(max_goals = 512) (enc : Symexec.
   in
   List.filteri (fun i _ -> i < max_goals) goals
 
+let prune_goals (facts : Switchv_analysis.Analysis.facts) goals =
+  let dead_tables =
+    (* Unapplied tables produce no trace points (hence no goals), but
+       callers may hand-build goals over them; treat both as dead. *)
+    facts.f_dead_tables @ facts.f_unapplied_tables
+  in
+  let dead_table t = List.mem t dead_tables in
+  let dead_component label =
+    (* trace labels are "table:entry & table:entry & ..."; match against
+       the known dead names rather than parsing at ':' (table names may
+       contain one) *)
+    let components =
+      List.map String.trim (String.split_on_char '&' label)
+    in
+    List.exists
+      (fun d ->
+        let prefix = d ^ ":" in
+        let plen = String.length prefix in
+        List.exists
+          (fun component ->
+            String.length component >= plen
+            && String.equal (String.sub component 0 plen) prefix)
+          components)
+      dead_tables
+  in
+  let live g =
+    match g.goal_kind with
+    | G_entry { ge_table; _ } -> not (dead_table ge_table)
+    | G_branch label -> not (List.mem label facts.f_dead_branch_labels)
+    | G_trace label -> not (dead_component label)
+    | G_custom _ -> true
+  in
+  let kept = List.filter live goals in
+  Telemetry.incr (Telemetry.get ())
+    ~n:(List.length goals - List.length kept)
+    "analysis.goals_pruned";
+  kept
+
 type test_packet = {
   tp_goal : string;
   tp_kind : goal_kind;

@@ -61,6 +61,16 @@ val trace_coverage_goals :
     [max_goals] (default 512); combinations whose guards conflict are
     reported as uncoverable by [generate]. *)
 
+val prune_goals : Switchv_analysis.Analysis.facts -> goal list -> goal list
+(** Drop goals the static analysis proved uncoverable before they reach
+    the solver: entry goals of tables applied only on dead paths, branch
+    goals whose [branch.N.then]/[.else] label the analysis decided can
+    never execute, and trace combinations involving a dead table.
+    [G_custom] goals are never pruned. Sound because a pruned goal's guard
+    is statically false — the solver would classify it uncoverable, at a
+    query's cost. Increments the [analysis.goals_pruned] counter by the
+    number of goals dropped (creating it at 0 either way). *)
+
 type test_packet = {
   tp_goal : string;
   tp_kind : goal_kind;

@@ -1,0 +1,86 @@
+// A deliberately-defective model for `switchv lint` tests. It typechecks
+// (widths and references are all consistent) but carries one instance of
+// each error-severity analysis finding:
+//
+//   P4A001 — bad_acl keys on ipv4.dst_addr, but no parser state ever
+//            extracts ipv4: the header is never valid at the read.
+//   P4A003 — debug_table is applied only under meta.debug_level == 2,
+//            and debug_level is never assigned (so it is always 0).
+//   P4A004 — locked_table's entry restriction requires in_port to equal
+//            two different values at once: no entry can be installed.
+//
+// The statically-false conditional also yields a P4A006 warning, which is
+// why the CLI test filters at --severity error.
+
+header ethernet_t {
+  bit<48> dst_addr;
+  bit<48> src_addr;
+  bit<16> ether_type;
+}
+
+header ipv4_t {
+  bit<8> ttl;
+  bit<8> protocol;
+  bit<32> src_addr;
+  bit<32> dst_addr;
+}
+
+struct metadata_t {
+  bit<8> debug_level;
+}
+
+parser (start = start) {
+  state start {
+    packet.extract(headers.ethernet);
+    transition accept;
+  }
+}
+
+action no_action() {
+}
+
+action drop() {
+  std.drop = 1w0x1;
+}
+
+@id(1)
+table bad_acl {
+  key = {
+    ipv4.dst_addr : ternary @name("dst_ip");
+  }
+  actions = { drop; no_action }
+  const default_action = no_action();
+  size = 16;
+}
+
+@entry_restriction("in_port == 1 && in_port == 2")
+@id(2)
+table locked_table {
+  key = {
+    std.ingress_port : exact @name("in_port");
+  }
+  actions = { no_action }
+  const default_action = no_action();
+  size = 16;
+}
+
+@id(3)
+table debug_table {
+  key = {
+    meta.debug_level : exact @name("level");
+  }
+  actions = { no_action }
+  const default_action = no_action();
+  size = 16;
+}
+
+control ingress {
+  bad_acl.apply();
+  locked_table.apply();
+  if (meta.debug_level == 8w0x2) {
+    debug_table.apply();
+  }
+}
+
+control egress {
+}

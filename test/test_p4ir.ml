@@ -103,6 +103,18 @@ let test_error_accumulation () =
   | Ok () -> Alcotest.fail "should not typecheck"
   | Error msgs -> check_bool "both errors reported" true (List.length msgs >= 2)
 
+let test_error_dedup () =
+  (* The same unknown field referenced twice in the same pipeline used to
+     yield the identical message twice; now each problem is reported once,
+     in first-occurrence order. *)
+  let bad = Ast.C_stmt (Ast.S_assign (Ast.meta "ghost", Ast.E_const (Bitvec.of_int ~width:16 1))) in
+  let program = { base with p_ingress = Ast.C_seq (bad, bad) } in
+  match Typecheck.check program with
+  | Ok () -> Alcotest.fail "should not typecheck"
+  | Error msgs ->
+      check_int "duplicate collapsed" (List.length (List.sort_uniq compare msgs))
+        (List.length msgs)
+
 (* --- lookups ---------------------------------------------------------------- *)
 
 let test_field_width () =
@@ -115,7 +127,23 @@ let test_field_width () =
 let test_field_ref_strings () =
   let fr = Ast.field "ipv4" "ttl" in
   check_string "to_string" "ipv4.ttl" (Ast.field_ref_to_string fr);
-  check_bool "roundtrip" true (Ast.field_ref_of_string "ipv4.ttl" = fr)
+  check_bool "roundtrip" true (Ast.field_ref_of_string "ipv4.ttl" = fr);
+  (* The split is at the FIRST dot, so dotted field names round-trip
+     (mirror of the ':' goal-id parsing bug). *)
+  let dotted = Ast.field "tunnel" "inner.ttl" in
+  check_bool "dotted field roundtrip" true
+    (Ast.field_ref_of_string (Ast.field_ref_to_string dotted) = dotted);
+  check_bool "first-dot split" true
+    (Ast.field_ref_of_string "a.b.c" = Ast.field "a" "b.c");
+  let rejects s =
+    match Ast.field_ref_of_string s with
+    | exception Invalid_argument _ -> ()
+    | _ -> Alcotest.failf "field_ref_of_string %S should raise" s
+  in
+  rejects "nodot";
+  rejects ".field";
+  rejects "header.";
+  rejects "."
 
 let test_tables_in_control () =
   let tables = Ast.tables_in_control base.p_ingress in
@@ -271,7 +299,8 @@ let () =
          Alcotest.test_case "bad default action" `Quick test_detects_bad_default_action;
          Alcotest.test_case "duplicate ids" `Quick test_detects_duplicate_ids;
          Alcotest.test_case "unknown parser state" `Quick test_detects_unknown_parser_state;
-         Alcotest.test_case "error accumulation" `Quick test_error_accumulation ]);
+         Alcotest.test_case "error accumulation" `Quick test_error_accumulation;
+         Alcotest.test_case "error dedup" `Quick test_error_dedup ]);
       ("lookups",
        [ Alcotest.test_case "field widths" `Quick test_field_width;
          Alcotest.test_case "field ref strings" `Quick test_field_ref_strings;
