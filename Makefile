@@ -1,6 +1,6 @@
 # Convenience targets; everything is plain dune underneath.
 
-.PHONY: all build check test bench bench-quick micro examples lint-models clean
+.PHONY: all build check test bench bench-quick micro examples lint-models replay-corpus clean
 
 MODELS = middleblock tor wan cerberus figure2
 
@@ -16,6 +16,17 @@ check:
 	dune build @all
 	dune runtest
 	$(MAKE) lint-models
+	$(MAKE) replay-corpus
+
+# Regression-corpus gate: every archived incident in the golden corpus must
+# still reproduce on a stack seeded with the fault it was captured under
+# (the corpus is live, not rotted), and none may reproduce on a clean stack
+# (no false regressions). Both legs exit non-zero on violation.
+replay-corpus:
+	dune exec bin/switchv_cli.exe -- replay -m middleblock --fault PINS-019 \
+	  --corpus test/fixtures/corpus.jsonl --expect-reproduce
+	dune exec bin/switchv_cli.exe -- replay -m middleblock \
+	  --corpus test/fixtures/corpus.jsonl
 
 # Static-analysis gate: every built-in role model and every example model
 # must carry zero error-severity findings (warnings/info are advisory and

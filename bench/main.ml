@@ -38,6 +38,7 @@ module Status = Switchv_p4runtime.Status
 module Rng = Switchv_bitvec.Rng
 module Bitvec = Switchv_bitvec.Bitvec
 module Telemetry = Switchv_telemetry.Telemetry
+module Repro = Switchv_triage.Repro
 
 let quick = ref false
 
@@ -595,6 +596,65 @@ let ablations () =
   ablation_pruning ()
 
 (* ------------------------------------------------------------------ *)
+(* Triage: ddmin shrinkage and fingerprint dedup                       *)
+(* ------------------------------------------------------------------ *)
+
+let triage_bench () =
+  banner "Triage: reproducer minimization (ddmin) and fingerprint dedup";
+  Printf.printf
+    "Per seeded fault: raw miscompares vs. fingerprint clusters, then each\n\
+     cluster representative's reproducer delta-debugged to a 1-minimal\n\
+     input. Shrink = raw size / minimized size; probes = replays spent.\n\n";
+  let program = Middleblock.program in
+  let profile =
+    if !quick then Workload.small else Workload.scaled 0.1 Workload.inst1
+  in
+  let entries = Workload.generate ~seed:42 program profile in
+  let catalogue = Catalogue.pins program entries in
+  let interesting (f : Fault.t) =
+    match f.kind with
+    | Fault.Reject_valid_insert _ | Fault.Syncd_drops_table _ -> true
+    | _ -> false
+  in
+  let faults =
+    let sel = List.filter interesting catalogue in
+    let n = if !quick then 2 else 4 in
+    List.filteri (fun i _ -> i < n) sel
+  in
+  let tm = Telemetry.get () in
+  let max_probes = if !quick then 64 else 256 in
+  List.iter
+    (fun (fault : Fault.t) ->
+      let mk () = Stack.create ~faults:[ fault ] program in
+      let config =
+        { (Harness.default_config entries) with
+          control = { Control_campaign.default_config with batches = 2; seed = 99 };
+          triage = Some { Harness.default_triage with minimize = false } }
+      in
+      let report = Harness.validate mk config in
+      let clusters = Option.value ~default:[] report.Report.clusters in
+      let miscompares =
+        List.fold_left (fun a (c : Report.cluster) -> a + c.cl_count) 0 clusters
+      in
+      Printf.printf "%s: %d miscompare(s) -> %d cluster(s)\n" fault.Fault.id
+        miscompares (List.length clusters);
+      List.iteri
+        (fun i (c : Report.cluster) ->
+          match c.cl_example.Report.repro with
+          | Some r when i < 5 ->
+              let before = Telemetry.counter tm "triage.ddmin_probes" in
+              let r' = Harness.minimize_repro mk ~max_probes r in
+              let probes = Telemetry.counter tm "triage.ddmin_probes" - before in
+              let raw = Repro.size r and minimized = Repro.size r' in
+              Printf.printf "  %-60s %4d -> %3d  %5.1fx %5d probes\n"
+                c.cl_fingerprint raw minimized
+                (float_of_int raw /. float_of_int (max 1 minimized))
+                probes
+          | _ -> ())
+        clusters)
+    faults
+
+(* ------------------------------------------------------------------ *)
 (* Bechamel micro-benchmarks                                           *)
 (* ------------------------------------------------------------------ *)
 
@@ -657,7 +717,7 @@ let () =
   let args = List.tl (Array.to_list Sys.argv) in
   quick := List.mem "quick" args;
   let args = List.filter (fun a -> a <> "quick") args in
-  let all = [ "table1"; "table2"; "table3"; "figure7"; "ablations" ] in
+  let all = [ "table1"; "table2"; "table3"; "figure7"; "ablations"; "triage" ] in
   let selected = if args = [] then all else args in
   let t0 = now () in
   List.iter
@@ -672,11 +732,13 @@ let () =
       | "table3" -> table3 ()
       | "figure7" -> figure7 ()
       | "ablations" -> ablations ()
+      | "triage" -> triage_bench ()
       | "micro" -> micro ()
       | other ->
           known := false;
           Printf.printf
-            "unknown artifact %S (use table1|table2|table3|figure7|ablations|micro|quick)\n"
+            "unknown artifact %S (use \
+             table1|table2|table3|figure7|ablations|triage|micro|quick)\n"
             other);
       if !known then
         Printf.printf "\ntelemetry %s %s\n" artifact

@@ -2,6 +2,7 @@
 
    Subcommands:
      validate   — full nightly validation (fuzzer + oracle, symbolic + diff)
+     replay     — re-run a regression corpus against a (fresh) switch stack
      fuzz       — control-plane campaign only
      genpackets — p4-symbolic packet generation only
      lint       — static analysis diagnostics (CFG + dataflow + BDD)
@@ -30,6 +31,7 @@ module Cache = Switchv_symbolic.Cache
 module Telemetry = Switchv_telemetry.Telemetry
 module Analysis = Switchv_analysis.Analysis
 module Diagnostics = Switchv_analysis.Diagnostics
+module Corpus = Switchv_triage.Corpus
 
 open Cmdliner
 
@@ -135,18 +137,54 @@ let resolve_faults program entries ids =
 
 (* --- validate ------------------------------------------------------------- *)
 
+let save_corpus_arg =
+  let doc =
+    "Append every incident's reproducer to the JSONL regression corpus \
+     $(docv) (replay it later with $(b,switchv replay))."
+  in
+  Arg.(value & opt (some string) None & info [ "save-corpus" ] ~docv:"FILE" ~doc)
+
+let minimize_arg =
+  let doc =
+    "Delta-debug each reported reproducer to a 1-minimal input before \
+     reporting/archiving (replays against fresh stacks; slower)."
+  in
+  Arg.(value & flag & info [ "minimize" ] ~doc)
+
 let validate_cmd =
-  let run program seed scale fault_ids batches cache_dir trace_file =
+  let run program seed scale fault_ids batches cache_dir trace_file corpus_file
+      minimize =
     let entries = workload program scale seed in
     let faults = resolve_faults program entries fault_ids in
     let mk () = Stack.create ~faults program in
     let config =
       { (Harness.default_config entries) with
         control = { Control_campaign.default_config with batches; seed };
-        cache = Option.map Cache.on_disk cache_dir }
+        cache = Option.map Cache.on_disk cache_dir;
+        triage = Some { Harness.default_triage with minimize } }
     in
     let report = with_trace trace_file (fun () -> Harness.validate mk config) in
     Format.printf "%a@." Report.pp report;
+    (match corpus_file with
+    | None -> ()
+    | Some path ->
+        let fault_ids = List.map (fun (f : Fault.t) -> f.id) faults in
+        let records =
+          List.filter_map
+            (fun (i : Report.incident) ->
+              Option.map
+                (fun repro ->
+                  { Corpus.c_program = report.Report.program_name;
+                    c_detector = Report.detector_to_string i.detector;
+                    c_kind = i.kind;
+                    c_fingerprint = Report.fingerprint i;
+                    c_faults = fault_ids;
+                    c_repro = repro })
+                i.repro)
+            (Report.incidents report)
+        in
+        Corpus.save path records;
+        Printf.printf "archived %d reproducer(s) to %s\n" (List.length records) path);
     if Report.clean report then Ok () else Error (false, "incidents reported")
   in
   let doc = "Run a full SwitchV validation (control plane + data plane)." in
@@ -154,12 +192,74 @@ let validate_cmd =
     (Cmd.info "validate" ~doc)
     Term.(
       term_result' ~usage:false
-        (const (fun p s sc f b c t ->
-             match run p s sc f b c t with
+        (const (fun p s sc f b c t cf mz ->
+             match run p s sc f b c t cf mz with
              | Ok () -> Ok ()
              | Error (_, m) -> Error m)
         $ model_arg $ seed_arg $ scale_arg $ faults_arg $ batches_arg $ cache_dir_arg
-        $ trace_file_arg))
+        $ trace_file_arg $ save_corpus_arg $ minimize_arg))
+
+(* --- replay ---------------------------------------------------------------- *)
+
+let replay_cmd =
+  let run program seed scale fault_ids corpus_path expect_reproduce =
+    let entries = workload program scale seed in
+    let faults = resolve_faults program entries fault_ids in
+    let mk () = Stack.create ~faults program in
+    match Corpus.load corpus_path with
+    | Error e -> Error e
+    | Ok records ->
+        let reproduced = ref 0 in
+        List.iteri
+          (fun idx (r : Corpus.record) ->
+            if not (String.equal r.c_program program.Ast.p_name) then
+              Printf.printf
+                "warning: record %d captured on model %s, replaying on %s\n"
+                (idx + 1) r.c_program program.Ast.p_name;
+            let o = Corpus.replay ~mk_stack:mk r in
+            if o.Corpus.o_reproduced then incr reproduced;
+            Printf.printf "%3d %-11s %-48s %s\n" (idx + 1)
+              (if o.Corpus.o_reproduced then "REPRODUCED" else "clean")
+              r.c_fingerprint
+              (if o.Corpus.o_reproduced then o.Corpus.o_detail else ""))
+          records;
+        let total = List.length records in
+        Printf.printf "%d/%d archived incident(s) reproduced\n" !reproduced total;
+        if expect_reproduce then
+          if !reproduced = total then Ok ()
+          else
+            Error
+              (Printf.sprintf "%d archived incident(s) did not reproduce"
+                 (total - !reproduced))
+        else if !reproduced = 0 then Ok ()
+        else Error (Printf.sprintf "%d regression(s) reproduced" !reproduced)
+  in
+  let corpus_arg =
+    let doc = "The JSONL regression corpus to replay." in
+    Arg.(
+      required & opt (some file) None & info [ "corpus" ] ~docv:"FILE" ~doc)
+  in
+  let expect_reproduce_arg =
+    let doc =
+      "Invert the exit contract: succeed only if $(i,every) archived \
+       incident still reproduces (corpus self-check against a seeded \
+       stack), instead of succeeding only when none does."
+    in
+    Arg.(value & flag & info [ "expect-reproduce" ] ~doc)
+  in
+  let doc =
+    "Replay a regression corpus against a freshly provisioned stack. Exits \
+     non-zero when an archived divergence reproduces (or, with \
+     $(b,--expect-reproduce), when one fails to)."
+  in
+  Cmd.v
+    (Cmd.info "replay" ~doc)
+    Term.(
+      term_result' ~usage:false
+        (const (fun p s sc f c e ->
+             match run p s sc f c e with Ok () -> Ok () | Error m -> Error m)
+        $ model_arg $ seed_arg $ scale_arg $ faults_arg $ corpus_arg
+        $ expect_reproduce_arg))
 
 (* --- fuzz ------------------------------------------------------------------- *)
 
@@ -375,5 +475,5 @@ let () =
   exit
     (Cmd.eval
        (Cmd.group info
-          [ validate_cmd; fuzz_cmd; genpackets_cmd; lint_cmd; trivial_cmd;
-            model_cmd; metrics_cmd; catalogue_cmd ]))
+          [ validate_cmd; replay_cmd; fuzz_cmd; genpackets_cmd; lint_cmd;
+            trivial_cmd; model_cmd; metrics_cmd; catalogue_cmd ]))

@@ -5,6 +5,7 @@ module Request = Switchv_p4runtime.Request
 module Status = Switchv_p4runtime.Status
 module Rng = Switchv_bitvec.Rng
 module Telemetry = Switchv_telemetry.Telemetry
+module Repro = Switchv_triage.Repro
 
 type config = {
   batches : int;
@@ -19,17 +20,25 @@ let default_config =
 let run ?(push_p4info = true) stack config =
   let start = Unix.gettimeofday () in
   let incidents = ref [] in
+  (* Counted separately: [List.length !incidents] per batch made the cutoff
+     check quadratic in max_incidents. *)
+  let n_incidents = ref 0 in
   let n_updates = ref 0 in
   let n_valid = ref 0 in
   let n_invalid = ref 0 in
   let n_batches = ref 0 in
-  let add detector kind detail =
-    incidents := Report.incident detector ~kind ~detail :: !incidents
+  (* Entries installed before the current batch, per the switch's own
+     read-back: the reproducer prefix for incidents in that batch. *)
+  let prefix = ref [] in
+  let add ?context ?repro detector kind detail =
+    incr n_incidents;
+    incidents := Report.incident ?context ?repro detector ~kind ~detail :: !incidents
   in
   (if push_p4info then begin
      let s = Stack.push_p4info stack in
      if not (Status.is_ok s) then
        add Report.Fuzzer "p4info rejected"
+         ~repro:(Repro.Control { cr_seed = config.seed; cr_prefix = []; cr_batch = [] })
          (Format.asprintf "Set P4Info failed: %a" Status.pp s)
    end);
   if !incidents = [] then
@@ -49,17 +58,52 @@ let run ?(push_p4info = true) stack config =
          let resp = Stack.write stack { Request.updates } in
          let read_back = Stack.read stack in
          let batch_incidents = Oracle.judge_batch oracle updates resp ~read_back in
-         List.iter
-           (fun (i : Oracle.incident) ->
-             let kind =
-               match i.inc_kind with
-               | `Status_violation -> "status violation"
-               | `State_divergence -> "state divergence"
-               | `Unresponsive -> "unresponsive"
-               | `P4info_rejected -> "p4info rejected"
-             in
-             add Report.Fuzzer kind i.inc_detail)
-           batch_incidents;
+         (if batch_incidents <> [] then begin
+            (* One reproducer and one context per batch; the oracle judges
+               the batch as a unit, so its incidents share both. *)
+            let mutated =
+              List.find_opt
+                (fun (a : Fuzzer.annotated_update) -> a.mutation <> None)
+                annotated
+            in
+            let table =
+              match mutated with
+              | Some a -> Some a.update.entry.e_table
+              | None -> (
+                  (* Directed-sweep batches target a single table; use it
+                     when the whole batch agrees. *)
+                  match updates with
+                  | (u : Request.update) :: rest
+                    when List.for_all
+                           (fun (v : Request.update) ->
+                             String.equal v.entry.e_table u.entry.e_table)
+                           rest ->
+                      Some u.entry.e_table
+                  | _ -> None)
+            in
+            let context =
+              Report.context ?table
+                ?mutation:(Option.bind mutated
+                             (fun (a : Fuzzer.annotated_update) -> a.mutation))
+                ~batch:!n_batches ()
+            in
+            let repro =
+              Repro.Control
+                { cr_seed = config.seed; cr_prefix = !prefix; cr_batch = updates }
+            in
+            List.iter
+              (fun (i : Oracle.incident) ->
+                let kind =
+                  match i.inc_kind with
+                  | `Status_violation -> "status violation"
+                  | `State_divergence -> "state divergence"
+                  | `Unresponsive -> "unresponsive"
+                  | `P4info_rejected -> "p4info rejected"
+                in
+                add ~context ~repro Report.Fuzzer kind i.inc_detail)
+              batch_incidents
+          end);
+      prefix := read_back.entries;
       (* A wedged switch cannot produce more signal; stop the campaign. *)
       if Stack.crashed stack then raise Exit
     in
@@ -68,11 +112,11 @@ let run ?(push_p4info = true) stack config =
           random phase. *)
        List.iter
          (fun batch ->
-           if List.length !incidents >= config.max_incidents then raise Exit;
+           if !n_incidents >= config.max_incidents then raise Exit;
            process batch)
          (Fuzzer.sweep fuzzer);
        for _ = 1 to config.batches do
-         if List.length !incidents >= config.max_incidents then raise Exit;
+         if !n_incidents >= config.max_incidents then raise Exit;
          process (Fuzzer.next_batch fuzzer)
        done
      with Exit -> ()));

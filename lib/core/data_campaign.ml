@@ -11,6 +11,7 @@ module Workload = Switchv_sai.Workload
 module Packet = Switchv_packet.Packet
 module Term = Switchv_smt.Term
 module Telemetry = Switchv_telemetry.Telemetry
+module Repro = Switchv_triage.Repro
 
 type config = {
   entries : Entry.t list;
@@ -90,15 +91,22 @@ let install stack entries add_incident =
     |> List.rev_map (fun (_, batch) -> List.rev batch)
   in
   let installed = ref 0 in
+  let accepted = ref [] in
   List.iter
     (fun batch ->
+      (* Entries the switch already accepted: the reproducer prefix for
+         rejections in this batch. *)
+      let prior = List.rev !accepted in
       let updates = List.map Request.insert batch in
       let resp = Stack.write stack { Request.updates } in
       List.iter2
         (fun (u : Request.update) (s : Status.t) ->
-          if Status.is_ok s then incr installed
+          if Status.is_ok s then begin
+            incr installed;
+            accepted := u.entry :: !accepted
+          end
           else
-            add_incident "entry rejected during test setup"
+            add_incident ~entry:u.entry ~prior
               (Format.asprintf "%a: %a" Status.pp s Entry.pp u.entry))
         updates resp.statuses)
     batches;
@@ -129,16 +137,32 @@ let pp_behavior_set fmt bs =
 
 let run ?(push_p4info = true) stack config =
   let incidents = ref [] in
-  let add kind detail =
-    if List.length !incidents < config.max_incidents then
-      incidents := Report.incident Report.Symbolic ~kind ~detail :: !incidents
+  (* Counted separately: [List.length !incidents] per packet made the cutoff
+     check quadratic in max_incidents. *)
+  let n_incidents = ref 0 in
+  let add ?context ?repro kind detail =
+    if !n_incidents < config.max_incidents then begin
+      incr n_incidents;
+      incidents :=
+        Report.incident ?context ?repro Report.Symbolic ~kind ~detail :: !incidents
+    end
   in
   (if push_p4info then begin
      let s = Stack.push_p4info stack in
      if not (Status.is_ok s) then
-       add "p4info rejected" (Format.asprintf "Set P4Info failed: %a" Status.pp s)
+       add "p4info rejected"
+         ~repro:(Repro.Control { cr_seed = 0; cr_prefix = []; cr_batch = [] })
+         (Format.asprintf "Set P4Info failed: %a" Status.pp s)
    end);
-  let installed = install stack config.entries add in
+  let installed =
+    install stack config.entries (fun ~entry ~prior detail ->
+        add "entry rejected during test setup"
+          ~context:(Report.context ~table:entry.Entry.e_table ())
+          ~repro:(Repro.Control
+                    { cr_seed = 0; cr_prefix = prior;
+                      cr_batch = [ Request.insert entry ] })
+          detail)
+  in
   (* The reference model runs over the intended entry set regardless of
      what the switch accepted: a rejected entry is already an incident, and
      the paper's simulator is configured with the full replay. *)
@@ -195,16 +219,28 @@ let run ?(push_p4info = true) stack config =
     (fun (tp : Packetgen.test_packet) ->
       match tp.tp_bytes with
       | None -> ()
-      | Some bytes when List.length !incidents < config.max_incidents -> (
+      | Some bytes when !n_incidents < config.max_incidents -> (
           incr tested;
+          let context =
+            let table =
+              match tp.tp_kind with
+              | Packetgen.G_entry { ge_table; _ } -> Some ge_table
+              | _ -> None
+            in
+            Report.context ?table ~goal:tp.tp_goal ()
+          in
+          let repro =
+            Repro.Data
+              { dr_entries = config.entries; dr_port = tp.tp_port; dr_bytes = bytes }
+          in
           let switch_b = Stack.inject stack ~ingress_port:tp.tp_port bytes in
           match Interp.enumerate_behaviors model_cfg ~ingress_port:tp.tp_port bytes with
           | exception Interp.Parse_failure msg ->
-              add "model parse failure"
+              add "model parse failure" ~context ~repro
                 (Printf.sprintf "goal %s generated an unparseable packet: %s" tp.tp_goal msg)
           | model_bs ->
               if not (List.exists (Interp.behavior_equal switch_b) model_bs) then
-                add "behavior divergence"
+                add "behavior divergence" ~context ~repro
                   (Format.asprintf
                      "goal %s (port %d): switch behaved %a, model admits %a" tp.tp_goal
                      tp.tp_port Interp.pp_behavior switch_b pp_behavior_set model_bs))
@@ -213,7 +249,7 @@ let run ?(push_p4info = true) stack config =
   (* Packet I/O contract. The submit-to-ingress payload is crafted to be
      routable under the installed entries (admitted MAC + covered dst), so
      that broken submit-to-ingress processing is observable. *)
-  if config.test_packet_io && List.length !incidents < config.max_incidents then begin
+  if config.test_packet_io && !n_incidents < config.max_incidents then begin
     let payload =
       let admit_mac =
         List.find_map
@@ -257,7 +293,10 @@ let run ?(push_p4info = true) stack config =
         let po = { Request.po_payload = payload; po_egress_port = Some port } in
         let b = Stack.packet_out stack po in
         if b.Interp.b_egress <> Some port || b.Interp.b_punted then
+          (* No reproducer: packet-out payloads are structured [Packet.t]
+             values with no byte-level parser to rebuild them from. *)
           add "packet-out divergence"
+            ~context:(Report.context ~goal:(Printf.sprintf "packet-out:port:%d" port) ())
             (Format.asprintf "packet-out to port %d behaved %a" port Interp.pp_behavior b))
       config.ports;
     let po = { Request.po_payload = payload; po_egress_port = None } in
@@ -265,6 +304,7 @@ let run ?(push_p4info = true) stack config =
     let model_bs = behavior_set_packet_out model_cfg po in
     if not (List.exists (Interp.behavior_equal switch_b) model_bs) then
       add "submit-to-ingress divergence"
+        ~context:(Report.context ~goal:"packet-out:submit" ())
         (Format.asprintf "switch behaved %a, model admits %a" Interp.pp_behavior switch_b
            pp_behavior_set model_bs)
   end);

@@ -3,6 +3,18 @@ module Fault = Switchv_switch.Fault
 module Entry = Switchv_p4runtime.Entry
 module Cache = Switchv_symbolic.Cache
 module Telemetry = Switchv_telemetry.Telemetry
+module Repro = Switchv_triage.Repro
+module Ddmin = Switchv_triage.Ddmin
+module Fingerprint = Switchv_triage.Fingerprint
+module Corpus = Switchv_triage.Corpus
+
+type triage = {
+  dedup : bool;
+  minimize : bool;
+  ddmin_probes : int;
+}
+
+let default_triage = { dedup = true; minimize = false; ddmin_probes = 256 }
 
 type config = {
   control : Control_campaign.config;
@@ -11,6 +23,7 @@ type config = {
   exploratory : bool;
   fuzzed_data_pass : bool;
   max_incidents : int;
+  triage : triage option;
 }
 
 (* Entries readable from a switch come back in insertion order of the
@@ -53,7 +66,86 @@ let default_config entries =
     cache = None;
     exploratory = true;
     fuzzed_data_pass = false;
-    max_incidents = 25 }
+    max_incidents = 25;
+    triage = Some default_triage }
+
+(* Shrink a reproducer to a 1-minimal input: each ddmin probe replays a
+   candidate against a freshly provisioned stack. Sound because a clean
+   stack replays incident-free, so any candidate that still reproduces is
+   a genuine divergence. *)
+let minimize_repro mk_stack ~max_probes repro =
+  let reproduces r = (Corpus.replay_repro (mk_stack ()) r).Corpus.o_reproduced in
+  let minimized =
+    match repro with
+  | Repro.Control (c : Repro.control) ->
+      (* Batch first (usually where the signal is), then the prefix
+         relative to the already-minimized batch. *)
+      let batch =
+        Ddmin.run ~max_probes
+          ~check:(fun b -> reproduces (Repro.Control { c with cr_batch = b }))
+          c.cr_batch
+      in
+      let c = { c with Repro.cr_batch = batch } in
+      let prefix =
+        Ddmin.run ~max_probes
+          ~check:(fun p -> reproduces (Repro.Control { c with cr_prefix = p }))
+          c.cr_prefix
+      in
+      Repro.Control { c with cr_prefix = prefix }
+  | Repro.Data (d : Repro.data) ->
+      let entries =
+        Ddmin.run ~max_probes
+          ~check:(fun es -> reproduces (Repro.Data { d with dr_entries = es }))
+          d.dr_entries
+      in
+      Repro.Data { d with dr_entries = entries }
+  in
+  Telemetry.incr (Telemetry.get ()) "triage.updates_removed"
+    ~n:(Repro.size repro - Repro.size minimized);
+  minimized
+
+let run_triage mk_stack (cfg : triage) control data =
+  let tele = Telemetry.get () in
+  Telemetry.incr ~n:0 tele "triage.duplicates_collapsed";
+  Telemetry.incr ~n:0 tele "triage.updates_removed";
+  let tagged =
+    List.map (fun i -> (`Control, i)) control @ List.map (fun i -> (`Data, i)) data
+  in
+  let groups =
+    if cfg.dedup then Fingerprint.cluster (fun (_, i) -> Report.fingerprint i) tagged
+    else List.map (fun x -> (x, Report.fingerprint (snd x), 1)) tagged
+  in
+  if cfg.dedup then
+    Telemetry.incr tele "triage.duplicates_collapsed"
+      ~n:(List.length tagged - List.length groups);
+  let groups =
+    if not cfg.minimize then groups
+    else
+      List.map
+        (fun ((tag, (i : Report.incident)), fp, count) ->
+          match i.repro with
+          | None -> ((tag, i), fp, count)
+          | Some r ->
+              Telemetry.with_span tele "triage.minimize" (fun () ->
+                  let r' = minimize_repro mk_stack ~max_probes:cfg.ddmin_probes r in
+                  ((tag, { i with Report.repro = Some r' }), fp, count)))
+        groups
+  in
+  let keep tag' =
+    List.filter_map
+      (fun ((tag, i), _, _) -> if tag = tag' then Some i else None)
+      groups
+  in
+  let clusters =
+    if cfg.dedup then
+      Some
+        (List.map
+           (fun ((_, i), fp, count) ->
+             { Report.cl_fingerprint = fp; cl_count = count; cl_example = i })
+           groups)
+    else None
+  in
+  (keep `Control, keep `Data, clusters)
 
 let validate mk_stack config =
   let tele = Telemetry.get () in
@@ -109,11 +201,18 @@ let validate mk_stack config =
         incidents
     end
   in
+  let control_incidents, data_incidents, clusters =
+    match config.triage with
+    | None -> (control_incidents, data_incidents @ fuzzed_incidents, None)
+    | Some t ->
+        run_triage mk_stack t control_incidents (data_incidents @ fuzzed_incidents)
+  in
   { Report.program_name = (Stack.program data_stack).p_name;
     control_incidents;
-    data_incidents = data_incidents @ fuzzed_incidents;
+    data_incidents;
     control_stats = Some control_stats;
     data_stats = Some data_stats;
+    clusters;
     telemetry = Some (Telemetry.snapshot tele) }
 
 let detect mk_stack config = Report.detected_by (validate mk_stack config)

@@ -10,6 +10,22 @@ module Fault = Switchv_switch.Fault
 module Entry = Switchv_p4runtime.Entry
 module Cache = Switchv_symbolic.Cache
 
+type triage = {
+  dedup : bool;
+      (** Collapse incidents with identical fingerprints into clusters;
+          the report keeps one representative per cluster plus a
+          {!Report.cluster} summary. *)
+  minimize : bool;
+      (** Delta-debug each kept reproducer down to a 1-minimal input.
+          Expensive — every ddmin probe provisions a fresh stack via
+          [mk_stack] and replays — so off by default; the triage bench and
+          [switchv replay] turn it on deliberately. *)
+  ddmin_probes : int;  (** probe budget per ddmin invocation *)
+}
+
+val default_triage : triage
+(** [dedup = true; minimize = false; ddmin_probes = 256]. *)
+
 type config = {
   control : Control_campaign.config;
   data_entries : Entry.t list;
@@ -21,9 +37,22 @@ type config = {
           and run a second data-plane pass over them — fuzzed entries
           exercise control paths the production replay does not. *)
   max_incidents : int;
+  triage : triage option;
+      (** Post-campaign triage pass ({!default_triage} by default);
+          [None] reports raw miscompares untriaged. *)
 }
 
 val default_config : Entry.t list -> config
+
+val minimize_repro :
+  (unit -> Stack.t) ->
+  max_probes:int ->
+  Switchv_triage.Repro.t ->
+  Switchv_triage.Repro.t
+(** Delta-debug one reproducer to a 1-minimal input (control: triggering
+    batch first, then the prefix; data: the entry set). Each probe replays
+    against a fresh [mk_stack ()]. Exposed for the triage bench and
+    targeted shrinking outside a full {!validate} run. *)
 
 val validate : (unit -> Stack.t) -> config -> Report.t
 (** [validate mk_stack config]: runs both campaigns; [mk_stack] must build

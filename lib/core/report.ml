@@ -1,19 +1,61 @@
 module Telemetry = Switchv_telemetry.Telemetry
+module Repro = Switchv_triage.Repro
+module Fingerprint = Switchv_triage.Fingerprint
 
 type detector = Fuzzer | Symbolic
 
 let detector_to_string = function Fuzzer -> "p4-fuzzer" | Symbolic -> "p4-symbolic"
 
+type context = {
+  ctx_table : string option;
+  ctx_goal : string option;
+  ctx_mutation : string option;
+  ctx_batch : int option;
+}
+
+let context ?table ?goal ?mutation ?batch () =
+  { ctx_table = table; ctx_goal = goal; ctx_mutation = mutation; ctx_batch = batch }
+
 type incident = {
   detector : detector;
   kind : string;
   detail : string;
+  context : context option;
+  repro : Repro.t option;
 }
 
-let incident detector ~kind ~detail = { detector; kind; detail }
+let incident ?context ?repro detector ~kind ~detail =
+  { detector; kind; detail; context; repro }
+
+let pp_context fmt c =
+  let parts =
+    List.filter_map Fun.id
+      [ Option.map (fun t -> "table=" ^ t) c.ctx_table;
+        Option.map (fun g -> "goal=" ^ g) c.ctx_goal;
+        Option.map (fun m -> "mutation=" ^ m) c.ctx_mutation;
+        Option.map (fun b -> Printf.sprintf "batch=%d" b) c.ctx_batch ]
+  in
+  if parts <> [] then Format.fprintf fmt " {%s}" (String.concat ", " parts)
 
 let pp_incident fmt i =
-  Format.fprintf fmt "%s [%s] %s" (detector_to_string i.detector) i.kind i.detail
+  Format.fprintf fmt "%s [%s] %s" (detector_to_string i.detector) i.kind i.detail;
+  Option.iter (pp_context fmt) i.context
+
+let fingerprint i =
+  let get f = Option.bind i.context f in
+  Fingerprint.make
+    ~detector:(detector_to_string i.detector)
+    ~kind:i.kind
+    ?table:(get (fun c -> c.ctx_table))
+    ?goal:(get (fun c -> c.ctx_goal))
+    ?mutation:(get (fun c -> c.ctx_mutation))
+    ~detail:i.detail ()
+
+type cluster = {
+  cl_fingerprint : Fingerprint.t;
+  cl_count : int;
+  cl_example : incident;
+}
 
 type control_stats = {
   cs_batches : int;
@@ -41,12 +83,13 @@ type t = {
   data_incidents : incident list;
   control_stats : control_stats option;
   data_stats : data_stats option;
+  clusters : cluster list option;
   telemetry : Telemetry.snapshot option;
 }
 
 let empty program_name =
   { program_name; control_incidents = []; data_incidents = [];
-    control_stats = None; data_stats = None; telemetry = None }
+    control_stats = None; data_stats = None; clusters = None; telemetry = None }
 
 let incidents t = t.control_incidents @ t.data_incidents
 
@@ -79,6 +122,22 @@ let pp fmt t =
     Format.fprintf fmt "%d incident(s):@," (List.length all);
     List.iter (fun i -> Format.fprintf fmt "  %a@," pp_incident i) all
   end;
+  (match t.clusters with
+  | Some clusters ->
+      let miscompares =
+        List.fold_left (fun acc c -> acc + c.cl_count) 0 clusters
+      in
+      Format.fprintf fmt "triage: %d miscompare(s) in %d cluster(s)@,"
+        miscompares (List.length clusters);
+      List.iter
+        (fun c ->
+          Format.fprintf fmt "  x%-4d %s" c.cl_count c.cl_fingerprint;
+          (match c.cl_example.repro with
+          | Some r -> Format.fprintf fmt "  [%a]" Repro.pp r
+          | None -> ());
+          Format.fprintf fmt "@,")
+        clusters
+  | None -> ());
   (match t.telemetry with
   | Some snap -> Format.fprintf fmt "%a" Telemetry.pp_snapshot snap
   | None -> ());
@@ -106,8 +165,27 @@ let data_stats_to_json s =
       ("cache_hits", Json.int s.ds_cache_hits);
       ("cache_misses", Json.int s.ds_cache_misses) ]
 
+let opt f = function Some v -> f v | None -> "null"
+
+let context_to_json c =
+  let field name = function Some v -> [ (name, Json.str v) ] | None -> [] in
+  Json.obj
+    (field "table" c.ctx_table @ field "goal" c.ctx_goal
+    @ field "mutation" c.ctx_mutation
+    @ match c.ctx_batch with Some b -> [ ("batch", Json.int b) ] | None -> [])
+
+let incident_to_json (origin, i) =
+  (* Tag the campaign each incident came from; detector alone is ambiguous
+     once fuzzed-entry passes re-use kinds. *)
+  Json.obj
+    [ ("campaign", Json.str origin);
+      ("detector", Json.str (detector_to_string i.detector));
+      ("kind", Json.str i.kind); ("detail", Json.str i.detail);
+      ("context", opt context_to_json i.context);
+      ("fingerprint", Json.str (fingerprint i));
+      ("repro", opt Repro.to_json i.repro) ]
+
 let to_json t =
-  let opt f = function Some v -> f v | None -> "null" in
   Json.obj
     [ ("program", Json.str t.program_name);
       ("clean", Json.bool (clean t));
@@ -115,14 +193,18 @@ let to_json t =
       ("data_stats", opt data_stats_to_json t.data_stats);
       ( "incidents",
         Json.arr
-          (List.map
-             (fun (origin, i) ->
-               (* Tag the campaign each incident came from; detector alone
-                  is ambiguous once fuzzed-entry passes re-use kinds. *)
-               Json.obj
-                 [ ("campaign", Json.str origin);
-                   ("detector", Json.str (detector_to_string i.detector));
-                   ("kind", Json.str i.kind); ("detail", Json.str i.detail) ])
+          (List.map incident_to_json
              (List.map (fun i -> ("control", i)) t.control_incidents
              @ List.map (fun i -> ("data", i)) t.data_incidents)) );
+      ( "clusters",
+        opt
+          (fun clusters ->
+            Json.arr
+              (List.map
+                 (fun c ->
+                   Json.obj
+                     [ ("fingerprint", Json.str c.cl_fingerprint);
+                       ("count", Json.int c.cl_count) ])
+                 clusters))
+          t.clusters );
       ("telemetry", opt Telemetry.snapshot_to_json t.telemetry) ]

@@ -2,22 +2,58 @@
 
     SwitchV does not diagnose root causes; it reports that the switch's
     observed behaviour is outside the set admitted by the P4 model, with
-    enough context for a human to investigate. *)
+    enough context for a human to investigate. Since the triage subsystem
+    landed, "enough context" is structured: incidents carry an optional
+    {!context} record (what the campaign was exercising) and an optional
+    {!Switchv_triage.Repro.t} (exactly how to re-trigger the divergence),
+    and a report can carry a fingerprint-dedup summary mirroring the
+    paper's miscompares-vs-bugs distinction (Table 1). *)
 
 module Telemetry = Switchv_telemetry.Telemetry
+module Repro = Switchv_triage.Repro
+module Fingerprint = Switchv_triage.Fingerprint
 
 type detector = Fuzzer | Symbolic
 
 val detector_to_string : detector -> string
 
+type context = {
+  ctx_table : string option;     (** table being exercised *)
+  ctx_goal : string option;      (** coverage-goal id (data plane) *)
+  ctx_mutation : string option;  (** fuzzer mutation in the batch *)
+  ctx_batch : int option;        (** 1-based batch index (control plane) *)
+}
+
+val context :
+  ?table:string -> ?goal:string -> ?mutation:string -> ?batch:int -> unit -> context
+
 type incident = {
   detector : detector;
   kind : string;       (** short category, e.g. "status violation" *)
   detail : string;
+  context : context option;
+      (** Structured incident context, so fingerprinting (and humans) need
+          not parse [detail]. *)
+  repro : Repro.t option;
+      (** Reproducer captured at the incident site; [None] only for
+          incident shapes with no replay path (packet-out divergences). *)
 }
 
-val incident : detector -> kind:string -> detail:string -> incident
+val incident :
+  ?context:context -> ?repro:Repro.t -> detector -> kind:string -> detail:string ->
+  incident
+
 val pp_incident : Format.formatter -> incident -> unit
+
+val fingerprint : incident -> Fingerprint.t
+(** Stable signature over detector, kind, and structured context (with
+    normalized fallbacks); see {!Switchv_triage.Fingerprint}. *)
+
+type cluster = {
+  cl_fingerprint : Fingerprint.t;
+  cl_count : int;          (** miscompares collapsed into this cluster *)
+  cl_example : incident;   (** first-seen representative *)
+}
 
 type control_stats = {
   cs_batches : int;
@@ -45,6 +81,11 @@ type t = {
   data_incidents : incident list;
   control_stats : control_stats option;
   data_stats : data_stats option;
+  clusters : cluster list option;
+      (** Fingerprint-dedup summary, present when the harness ran with
+          triage dedup: one cluster per distinct fingerprint, counting the
+          raw miscompares it absorbed. When present, the incident lists
+          hold one representative per cluster. *)
   telemetry : Telemetry.snapshot option;
       (** Counters and latency quantiles accumulated over the run, captured
           by {!Harness.validate} when it finishes. *)
@@ -69,4 +110,6 @@ val to_json : t -> string
     dependencies) for archiving nightly reports. Schema:
     [{"program":…,"clean":…,"control_stats":{…}|null,
       "data_stats":{…}|null,"incidents":[{"detector":…,"kind":…,
-      "detail":…},…],"telemetry":{…}|null}]. *)
+      "detail":…,"context":{…}|null,"fingerprint":…,"repro":{…}|null},…],
+      "clusters":[{"fingerprint":…,"count":…},…]|null,
+      "telemetry":{…}|null}]. *)

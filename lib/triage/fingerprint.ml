@@ -1,0 +1,113 @@
+type t = string
+
+let is_dec c = c >= '0' && c <= '9'
+let is_hex c = is_dec c || (c >= 'a' && c <= 'f') || (c >= 'A' && c <= 'F')
+let is_ident c = is_hex c || c = '_' || (c >= 'g' && c <= 'z') || (c >= 'G' && c <= 'Z')
+
+let normalize s =
+  let n = String.length s in
+  let buf = Buffer.create n in
+  let i = ref 0 in
+  while !i < n do
+    let c = s.[!i] in
+    let prev_ident = !i > 0 && is_ident s.[!i - 1] in
+    if (not prev_ident) && c = '0' && !i + 1 < n && s.[!i + 1] = 'x' then begin
+      (* 0x literal: swallow the hex run whatever its length *)
+      let j = ref (!i + 2) in
+      while !j < n && is_hex s.[!j] do incr j done;
+      Buffer.add_char buf '#';
+      i := !j
+    end
+    else if (not prev_ident) && is_hex c then begin
+      let j = ref !i in
+      let has_dec = ref false in
+      while !j < n && is_hex s.[!j] do
+        if is_dec s.[!j] then has_dec := true;
+        incr j
+      done;
+      let run_len = !j - !i in
+      let followed_by_ident = !j < n && is_ident s.[!j] in
+      let all_dec =
+        let rec go k = k >= !j || (is_dec s.[k] && go (k + 1)) in
+        go !i
+      in
+      (* A volatile token is a maximal run not glued to an identifier:
+         either a pure decimal (any length — batch indices, ports) or a
+         hex blob of length >= 4 that contains a digit (addresses, MACs,
+         digests). "deadbeef" without the digit rule would false-match
+         words like "cafe"; requiring a digit keeps English alone. *)
+      if (not followed_by_ident) && (all_dec || (run_len >= 4 && !has_dec)) then begin
+        Buffer.add_char buf '#';
+        (* collapse "#:#:#..." sequences from MACs/IPv6 into one mark *)
+        i := !j
+      end
+      else begin
+        Buffer.add_string buf (String.sub s !i run_len);
+        i := !j
+      end
+    end
+    else begin
+      Buffer.add_char buf c;
+      incr i
+    end
+  done;
+  (* Collapse runs of #-separated-by-punctuation ("#.#.#.#", "#:#") so
+     address shape differences do not split clusters. *)
+  let s = Buffer.contents buf in
+  let out = Buffer.create (String.length s) in
+  let k = ref 0 in
+  let len = String.length s in
+  while !k < len do
+    if
+      s.[!k] = '#'
+      && !k + 2 < len
+      && (s.[!k + 1] = '.' || s.[!k + 1] = ':')
+      && s.[!k + 2] = '#'
+    then begin
+      (* skip the ".#" / ":#"; the leading '#' is emitted once *)
+      Buffer.add_char out '#';
+      k := !k + 3;
+      while
+        !k + 1 < len && (s.[!k] = '.' || s.[!k] = ':') && s.[!k + 1] = '#'
+      do
+        k := !k + 2
+      done
+    end
+    else begin
+      Buffer.add_char out s.[!k];
+      incr k
+    end
+  done;
+  Buffer.contents out
+
+let make ~detector ~kind ?table ?goal ?mutation ~detail () =
+  let parts =
+    [ detector; kind ]
+    @ (match table with Some t -> [ "t=" ^ t ] | None -> [])
+    @ (match mutation with Some m -> [ "m=" ^ m ] | None -> [])
+    @
+    (* Structured context pins the cluster; free text only as fallback. *)
+    match (table, goal) with
+    | Some _, _ -> []
+    | None, Some g -> [ "g=" ^ normalize g ]
+    | None, None -> [ "d=" ^ normalize detail ]
+  in
+  String.concat "|" parts
+
+let cluster fp xs =
+  let order = ref [] in
+  let counts : (t, 'a * int ref) Hashtbl.t = Hashtbl.create 16 in
+  List.iter
+    (fun x ->
+      let f = fp x in
+      match Hashtbl.find_opt counts f with
+      | Some (_, n) -> incr n
+      | None ->
+          Hashtbl.add counts f (x, ref 1);
+          order := f :: !order)
+    xs;
+  List.rev_map
+    (fun f ->
+      let x, n = Hashtbl.find counts f in
+      (x, f, !n))
+    !order

@@ -1,0 +1,40 @@
+(** Stable incident signatures and clustering.
+
+    The paper's Table 1 distinguishes {e miscompares} (one per failing
+    probe — hundreds per night) from {e bugs} (root causes — a handful).
+    A fingerprint is a deterministic signature of an incident's root-cause
+    surface: the detector, the incident kind, and whichever structured
+    context is available (table, mutation, goal), with volatile material —
+    hex values, packet bytes, entry indices, port numbers — normalized
+    out. Two miscompares of the same underlying fault fingerprint
+    identically across runs, seeds, and workloads, so dedup collapses a
+    night's incident flood into per-bug clusters. *)
+
+type t = string
+(** Rendered signature, e.g.
+    ["p4-symbolic|behavior divergence|t=ipv4_table"]. Opaque but stable:
+    corpus records archive it verbatim. *)
+
+val make :
+  detector:string ->
+  kind:string ->
+  ?table:string ->
+  ?goal:string ->
+  ?mutation:string ->
+  detail:string ->
+  unit ->
+  t
+(** Build a signature from the structured context when present; the
+    normalized goal id (for custom goals with no table) or the normalized
+    detail string is used only as a last resort, so enriching an incident
+    with context strictly improves dedup quality. *)
+
+val normalize : string -> string
+(** Replace volatile substrings with ["#"]: hex runs of length >= 4
+    containing a decimal digit, [0x]-prefixed literals, and standalone
+    decimal runs (ones not embedded in an identifier, so ["ipv4_table"]
+    survives but ["port 3"] becomes ["port #"]). Idempotent. *)
+
+val cluster : ('a -> t) -> 'a list -> ('a * t * int) list
+(** [cluster fp xs] groups [xs] by fingerprint, preserving first-seen
+    order; each group is reported as (first member, fingerprint, size). *)

@@ -1,0 +1,34 @@
+(** A minimal, dependency-free JSON {e parser} — the inverse of the
+    hand-rolled emitter in {!Switchv_telemetry.Telemetry.Json}.
+
+    The corpus (and only the corpus) needs to read JSON back: every other
+    JSON consumer in the pipeline is write-only. The parser accepts the
+    full JSON grammar (RFC 8259) minus exotic number forms the emitter
+    never produces; [\uXXXX] escapes outside the ASCII range are decoded
+    as UTF-8. *)
+
+type t =
+  | Null
+  | Bool of bool
+  | Num of float
+  | Str of string
+  | Arr of t list
+  | Obj of (string * t) list
+
+val parse : string -> (t, string) result
+(** Parse one JSON value; trailing garbage (other than whitespace) is an
+    error. Error strings carry a byte offset. *)
+
+(** {1 Accessors}
+
+    Total accessors used by the corpus loader; each returns [None] on a
+    shape mismatch so record parsing can fail with one message instead of
+    raising mid-structure. *)
+
+val member : string -> t -> t option
+(** Field of an object ([None] for absent fields or non-objects). *)
+
+val to_str : t -> string option
+val to_int : t -> int option
+val to_bool : t -> bool option
+val to_arr : t -> t list option

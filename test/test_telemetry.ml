@@ -240,6 +240,12 @@ let test_report_to_json () =
           { Report.ds_entries_installed = 5; ds_goals = 9; ds_covered = 8;
             ds_uncoverable = 1; ds_packets_tested = 8; ds_generation_time = 1.5;
             ds_testing_time = 0.5; ds_cache_hits = 0; ds_cache_misses = 9 };
+      clusters =
+        Some
+          [ { Report.cl_fingerprint = "p4-fuzzer|status violation|d=x";
+              cl_count = 3;
+              cl_example =
+                Report.incident Report.Fuzzer ~kind:"status violation" ~detail:"x" } ];
       telemetry = Some (Telemetry.snapshot t) }
   in
   check_bool "full report JSON well-formed" true
