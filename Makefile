@@ -1,6 +1,6 @@
 # Convenience targets; everything is plain dune underneath.
 
-.PHONY: all build check test bench bench-quick micro examples lint-models replay-corpus clean
+.PHONY: all build check test bench bench-quick micro examples lint-models replay-corpus check-parallel clean
 
 MODELS = middleblock tor wan cerberus figure2
 
@@ -17,6 +17,7 @@ check:
 	dune runtest
 	$(MAKE) lint-models
 	$(MAKE) replay-corpus
+	$(MAKE) check-parallel
 
 # Regression-corpus gate: every archived incident in the golden corpus must
 # still reproduce on a stack seeded with the fault it was captured under
@@ -27,6 +28,22 @@ replay-corpus:
 	  --corpus test/fixtures/corpus.jsonl --expect-reproduce
 	dune exec bin/switchv_cli.exe -- replay -m middleblock \
 	  --corpus test/fixtures/corpus.jsonl
+
+# Parallel-determinism gate: a seeded faulty validation must archive a
+# byte-identical regression corpus at --jobs 4 and --jobs 1 (same --shards,
+# so the decomposition is fixed and only the scheduling differs), and a
+# clean parallel run must exit 0. Incident-bearing runs exit non-zero by
+# contract, so those legs are inverted with `!`.
+check-parallel:
+	rm -f /tmp/swv_par_1.jsonl /tmp/swv_par_4.jsonl
+	! dune exec bin/switchv_cli.exe -- validate -m middleblock --fault PINS-019 \
+	  --batches 4 --shards 4 --jobs 1 --save-corpus /tmp/swv_par_1.jsonl >/dev/null
+	! dune exec bin/switchv_cli.exe -- validate -m middleblock --fault PINS-019 \
+	  --batches 4 --shards 4 --jobs 4 --save-corpus /tmp/swv_par_4.jsonl >/dev/null
+	cmp /tmp/swv_par_1.jsonl /tmp/swv_par_4.jsonl
+	dune exec bin/switchv_cli.exe -- validate -m middleblock \
+	  --batches 4 --shards 4 --jobs 4 >/dev/null
+	rm -f /tmp/swv_par_1.jsonl /tmp/swv_par_4.jsonl
 
 # Static-analysis gate: every built-in role model and every example model
 # must carry zero error-severity findings (warnings/info are advisory and

@@ -45,7 +45,7 @@ let quick = ref false
 let banner title =
   Printf.printf "\n%s\n%s\n%!" title (String.make (String.length title) '=')
 
-let now () = Unix.gettimeofday ()
+let now () = Telemetry.Clock.now ()
 
 (* ------------------------------------------------------------------ *)
 (* Shared detection machinery for Table 1 / Table 2 / Figure 7         *)
@@ -502,7 +502,8 @@ let ablation_batching () =
   let run respect =
     let stack = Stack.create Middleblock.program in
     let config =
-      { Control_campaign.batches = (if !quick then 10 else 40);
+      { Control_campaign.default_config with
+        batches = (if !quick then 10 else 40);
         fuzzer_config = { Fuzzer.default_config with respect_dependencies = respect };
         max_incidents = 10000;
         seed = 5 }
@@ -655,6 +656,76 @@ let triage_bench () =
     faults
 
 (* ------------------------------------------------------------------ *)
+(* Parallel: fork-based campaign sharding speedup                      *)
+(* ------------------------------------------------------------------ *)
+
+let parallel_bench () =
+  banner "Parallel: fork-based campaign sharding (switchv validate --jobs)";
+  Printf.printf
+    "Both campaigns at shards=4, executed with 1, 2, and 4 worker\n\
+     processes. The shard decomposition is fixed by the shard count, so\n\
+     every jobs value must report the identical incident set; the only\n\
+     thing that changes is wall-clock time.\n\n";
+  let program = Middleblock.program in
+  let profile =
+    if !quick then Workload.small else Workload.scaled 0.1 Workload.inst1
+  in
+  let entries = Workload.generate ~seed:42 program profile in
+  let catalogue = Catalogue.pins program entries in
+  let fault_matching pred =
+    match List.find_opt (fun (f : Fault.t) -> pred f.Fault.kind) catalogue with
+    | Some f -> [ f ]
+    | None -> []
+  in
+  let incident_set incidents = List.map Report.incident_ipc_to_json incidents in
+  let row name jobs seconds base_seconds identical =
+    Printf.printf "%-22s jobs=%d %8.2fs  %5.2fx  incidents identical: %b\n%!"
+      name jobs seconds
+      (if seconds > 0. then base_seconds /. seconds else 0.)
+      identical
+  in
+  let bench name runner =
+    let t1, i1 = runner 1 in
+    row name 1 t1 t1 true;
+    List.iter
+      (fun jobs ->
+        let t, i = runner jobs in
+        row name jobs t t1 (incident_set i = incident_set i1))
+      [ 2; 4 ]
+  in
+  (* Control campaign: seed-range shards against a fault the oracle sees. *)
+  let control_faults =
+    fault_matching (function Fault.Reject_valid_insert _ -> true | _ -> false)
+  in
+  let control_cfg =
+    { Control_campaign.default_config with
+      batches = (if !quick then 8 else 48);
+      seed = 99;
+      shards = 4;
+      max_incidents = 1000 }
+  in
+  bench "control campaign" (fun jobs ->
+      let mk () = Stack.create ~faults:control_faults program in
+      let t0 = now () in
+      let incidents, _ = Control_campaign.run_sharded ~jobs mk control_cfg in
+      (now () -. t0, incidents));
+  (* Data campaign: coverage-goal slices against a fault the differ sees. *)
+  let data_faults =
+    fault_matching (function Fault.Syncd_drops_table _ -> true | _ -> false)
+  in
+  let data_cfg =
+    { (Data_campaign.default_config entries) with
+      shards = 4;
+      test_packet_io = false;
+      max_incidents = 1000 }
+  in
+  bench "data campaign" (fun jobs ->
+      let stack = Stack.create ~faults:data_faults program in
+      let t0 = now () in
+      let incidents, _ = Data_campaign.run ~jobs stack data_cfg in
+      (now () -. t0, incidents))
+
+(* ------------------------------------------------------------------ *)
 (* Bechamel micro-benchmarks                                           *)
 (* ------------------------------------------------------------------ *)
 
@@ -717,7 +788,9 @@ let () =
   let args = List.tl (Array.to_list Sys.argv) in
   quick := List.mem "quick" args;
   let args = List.filter (fun a -> a <> "quick") args in
-  let all = [ "table1"; "table2"; "table3"; "figure7"; "ablations"; "triage" ] in
+  let all =
+    [ "table1"; "table2"; "table3"; "figure7"; "ablations"; "triage"; "parallel" ]
+  in
   let selected = if args = [] then all else args in
   let t0 = now () in
   List.iter
@@ -733,12 +806,13 @@ let () =
       | "figure7" -> figure7 ()
       | "ablations" -> ablations ()
       | "triage" -> triage_bench ()
+      | "parallel" -> parallel_bench ()
       | "micro" -> micro ()
       | other ->
           known := false;
           Printf.printf
             "unknown artifact %S (use \
-             table1|table2|table3|figure7|ablations|triage|micro|quick)\n"
+             table1|table2|table3|figure7|ablations|triage|parallel|micro|quick)\n"
             other);
       if !known then
         Printf.printf "\ntelemetry %s %s\n" artifact

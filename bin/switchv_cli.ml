@@ -151,17 +151,36 @@ let minimize_arg =
   in
   Arg.(value & flag & info [ "minimize" ] ~doc)
 
+let jobs_arg =
+  let doc =
+    "Worker processes for campaign execution. Shard decomposition is fixed \
+     by $(b,--shards), so the reported incidents are identical at any jobs \
+     count; 1 (the default) forks nothing."
+  in
+  Arg.(value & opt int 1 & info [ "j"; "jobs" ] ~docv:"N" ~doc)
+
+let shards_arg =
+  let doc =
+    "Shard count for both campaigns: control-plane seed-range shards and \
+     data-plane coverage-goal slices. Changing it changes what the \
+     campaigns fuzz/generate (unlike $(b,--jobs), which never does); \
+     useful values are the jobs count you plan to run with."
+  in
+  Arg.(value & opt int 1 & info [ "shards" ] ~docv:"K" ~doc)
+
 let validate_cmd =
   let run program seed scale fault_ids batches cache_dir trace_file corpus_file
-      minimize =
+      minimize jobs shards =
     let entries = workload program scale seed in
     let faults = resolve_faults program entries fault_ids in
     let mk () = Stack.create ~faults program in
     let config =
       { (Harness.default_config entries) with
-        control = { Control_campaign.default_config with batches; seed };
+        control = { Control_campaign.default_config with batches; seed; shards };
         cache = Option.map Cache.on_disk cache_dir;
-        triage = Some { Harness.default_triage with minimize } }
+        triage = Some { Harness.default_triage with minimize };
+        jobs;
+        data_shards = shards }
     in
     let report = with_trace trace_file (fun () -> Harness.validate mk config) in
     Format.printf "%a@." Report.pp report;
@@ -192,12 +211,12 @@ let validate_cmd =
     (Cmd.info "validate" ~doc)
     Term.(
       term_result' ~usage:false
-        (const (fun p s sc f b c t cf mz ->
-             match run p s sc f b c t cf mz with
+        (const (fun p s sc f b c t cf mz j sh ->
+             match run p s sc f b c t cf mz j sh with
              | Ok () -> Ok ()
              | Error (_, m) -> Error m)
         $ model_arg $ seed_arg $ scale_arg $ faults_arg $ batches_arg $ cache_dir_arg
-        $ trace_file_arg $ save_corpus_arg $ minimize_arg))
+        $ trace_file_arg $ save_corpus_arg $ minimize_arg $ jobs_arg $ shards_arg))
 
 (* --- replay ---------------------------------------------------------------- *)
 
@@ -287,7 +306,7 @@ let fuzz_cmd =
 let genpackets_cmd =
   let run program seed scale cache_dir verbose trace_tables no_prune =
     let entries = workload program scale seed in
-    let t0 = Unix.gettimeofday () in
+    let t0 = Telemetry.Clock.now () in
     let encoding = Symexec.encode program entries in
     let goals =
       match trace_tables with
@@ -305,7 +324,7 @@ let genpackets_cmd =
     let result = Packetgen.generate ?cache encoding goals in
     Printf.printf "%d entries, %d goals: %d covered, %d uncoverable in %.2fs%s\n"
       (List.length entries) (List.length goals) result.covered result.uncoverable
-      (Unix.gettimeofday () -. t0)
+      (Telemetry.Clock.duration ~since:t0)
       (if result.from_cache then " (cached)" else "");
     if verbose then
       List.iter

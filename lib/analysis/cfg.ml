@@ -43,7 +43,10 @@ let build (program : Ast.program) =
     nodes := n :: !nodes;
     n
   in
-  let connect n id = n.n_succ <- n.n_succ @ [ id ] in
+  (* Successor lists are built in reverse (cons — appending one id at a
+     time was quadratic in a node's out-degree) and reversed once in the
+     finalization pass below, which restores connect-call order. *)
+  let connect n id = n.n_succ <- id :: n.n_succ in
   let entry = mk "" N_entry in
   let exit_ = mk "" N_exit in
   let accept = mk "parser" N_parser_accept in
@@ -107,8 +110,10 @@ let build (program : Ast.program) =
         let then_entry = build_control where a succ (next + 1) in
         let else_entry = build_control where b succ (next + 1 + count_ifs a) in
         let n = mk where (N_cond (next, cond)) in
-        (* Positional invariant: successor 0 is then, 1 is else. *)
-        n.n_succ <- [ then_entry; else_entry ];
+        (* Positional invariant: successor 0 is then, 1 is else — stored
+           reversed here, like every in-construction successor list, so the
+           finalization reversal below restores then-first. *)
+        n.n_succ <- [ else_entry; then_entry ];
         n.n_id
   in
   let ingress_ifs = count_ifs program.p_ingress in
@@ -117,6 +122,7 @@ let build (program : Ast.program) =
   connect accept ingress_entry;
   let arr = Array.make !count entry in
   List.iter (fun n -> arr.(n.n_id) <- n) !nodes;
+  Array.iter (fun n -> n.n_succ <- List.rev n.n_succ) arr;
   Array.iter
     (fun n -> List.iter (fun s -> arr.(s).n_pred <- n.n_id :: arr.(s).n_pred) n.n_succ)
     arr;

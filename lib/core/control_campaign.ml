@@ -6,19 +6,33 @@ module Status = Switchv_p4runtime.Status
 module Rng = Switchv_bitvec.Rng
 module Telemetry = Switchv_telemetry.Telemetry
 module Repro = Switchv_triage.Repro
+module Shard = Switchv_parallel.Shard
+module Pool = Switchv_parallel.Pool
+module Jsonp = Switchv_triage.Jsonp
 
 type config = {
   batches : int;
   fuzzer_config : Fuzzer.config;
   seed : int;
   max_incidents : int;
+  shards : int;
 }
 
 let default_config =
-  { batches = 20; fuzzer_config = Fuzzer.default_config; seed = 7; max_incidents = 25 }
+  { batches = 20; fuzzer_config = Fuzzer.default_config; seed = 7;
+    max_incidents = 25; shards = 1 }
 
-let run ?(push_p4info = true) stack config =
-  let start = Unix.gettimeofday () in
+(* One shard of the campaign: a fresh stack, a fresh fuzzer seeded with
+   [seed + shard], and this shard's slice of the batch budget. The
+   decomposition depends only on [config] (never on worker count), so the
+   same shard always produces the same incidents. The directed sweep runs
+   in shard 0 only — it is deterministic per-program, so running it once
+   preserves the sequential campaign's output at [shards = 1]. *)
+let run_shard ?(push_p4info = true) stack config ~shard =
+  let shards = max 1 config.shards in
+  let seed = config.seed + shard in
+  let batches = (Shard.counts ~total:config.batches ~shards).(shard) in
+  let start = Telemetry.Clock.now () in
   let incidents = ref [] in
   (* Counted separately: [List.length !incidents] per batch made the cutoff
      check quadratic in max_incidents. *)
@@ -38,12 +52,12 @@ let run ?(push_p4info = true) stack config =
      let s = Stack.push_p4info stack in
      if not (Status.is_ok s) then
        add Report.Fuzzer "p4info rejected"
-         ~repro:(Repro.Control { cr_seed = config.seed; cr_prefix = []; cr_batch = [] })
+         ~repro:(Repro.Control { cr_seed = seed; cr_prefix = []; cr_batch = [] })
          (Format.asprintf "Set P4Info failed: %a" Status.pp s)
    end);
   if !incidents = [] then
     Telemetry.with_span (Telemetry.get ()) "campaign.control" (fun () ->
-    let fuzzer = Fuzzer.create ~config:config.fuzzer_config (Stack.info stack) (Rng.create config.seed) in
+    let fuzzer = Fuzzer.create ~config:config.fuzzer_config (Stack.info stack) (Rng.create seed) in
     let oracle = Oracle.create (Stack.info stack) in
     let process annotated =
       incr n_batches;
@@ -89,7 +103,7 @@ let run ?(push_p4info = true) stack config =
             in
             let repro =
               Repro.Control
-                { cr_seed = config.seed; cr_prefix = !prefix; cr_batch = updates }
+                { cr_seed = seed; cr_prefix = !prefix; cr_batch = updates }
             in
             List.iter
               (fun (i : Oracle.incident) ->
@@ -110,12 +124,13 @@ let run ?(push_p4info = true) stack config =
     (try
        (* Directed sweep first (every table, every mutation), then the
           random phase. *)
-       List.iter
-         (fun batch ->
-           if !n_incidents >= config.max_incidents then raise Exit;
-           process batch)
-         (Fuzzer.sweep fuzzer);
-       for _ = 1 to config.batches do
+       if shard = 0 then
+         List.iter
+           (fun batch ->
+             if !n_incidents >= config.max_incidents then raise Exit;
+             process batch)
+           (Fuzzer.sweep fuzzer);
+       for _ = 1 to batches do
          if !n_incidents >= config.max_incidents then raise Exit;
          process (Fuzzer.next_batch fuzzer)
        done
@@ -125,6 +140,89 @@ let run ?(push_p4info = true) stack config =
       cs_updates = !n_updates;
       cs_valid_updates = !n_valid;
       cs_invalid_updates = !n_invalid;
-      cs_duration = Unix.gettimeofday () -. start }
+      cs_duration = Telemetry.Clock.duration ~since:start }
   in
   (List.rev !incidents, stats)
+
+let run ?push_p4info stack config =
+  run_shard ?push_p4info stack { config with shards = 1 } ~shard:0
+
+(* --- sharded execution ---------------------------------------------------- *)
+
+module Json = Telemetry.Json
+
+let serialize_shard (incidents, stats) =
+  Json.obj
+    [ ("incidents", Json.arr (List.map Report.incident_ipc_to_json incidents));
+      ("stats", Report.control_stats_to_json stats) ]
+
+let deserialize_shard payload =
+  let ( let* ) = Result.bind in
+  let* j = Jsonp.parse payload in
+  let* incidents =
+    match Jsonp.member "incidents" j with
+    | Some (Jsonp.Arr xs) ->
+        List.fold_left
+          (fun acc x ->
+            let* acc = acc in
+            let* i = Report.incident_of_ipc_json x in
+            Ok (i :: acc))
+          (Ok []) xs
+        |> Result.map List.rev
+    | _ -> Error "control shard payload: missing incidents"
+  in
+  let* stats =
+    match Jsonp.member "stats" j with
+    | Some sj -> Report.control_stats_of_json sj
+    | None -> Error "control shard payload: missing stats"
+  in
+  Ok (incidents, stats)
+
+let truncate n xs =
+  let rec go n = function
+    | x :: tl when n > 0 -> x :: go (n - 1) tl
+    | _ -> []
+  in
+  go n xs
+
+let run_sharded ?(push_p4info = true) ?(jobs = 1) ?stack0 mk_stack config =
+  let shards = max 1 config.shards in
+  let stack_for shard =
+    match stack0 with Some s when shard = 0 -> s | _ -> mk_stack ()
+  in
+  (* Merge in shard order: each shard ran with the full incident budget, so
+     truncating the concatenation to [max_incidents] yields the same prefix
+     whether shards ran sequentially or in any parallel interleaving. *)
+  let merge results =
+    let incidents = truncate config.max_incidents (List.concat_map fst results) in
+    (incidents, Report.merge_control_stats (List.map snd results))
+  in
+  if shards = 1 && jobs <= 1 then run ~push_p4info (stack_for 0) config
+  else if jobs <= 1 then
+    merge
+      (List.init shards (fun shard ->
+           run_shard ~push_p4info (stack_for shard) config ~shard))
+  else begin
+    let parent_shards = if stack0 <> None then [ 0 ] else [] in
+    let task shard =
+      serialize_shard (run_shard ~push_p4info (stack_for shard) config ~shard)
+    in
+    let pool = Pool.run ~jobs ~shards ~parent_shards task in
+    let results =
+      List.filter_map
+        (function
+          | Pool.Done payload -> (
+              match deserialize_shard payload with
+              | Ok r -> Some r
+              | Error e ->
+                  (* Same degradation contract as a crashed worker: drop the
+                     shard, keep the campaign. *)
+                  Telemetry.incr (Telemetry.get ()) "parallel.workers_failed";
+                  Printf.eprintf
+                    "switchv: dropping undecodable control shard: %s\n%!" e;
+                  None)
+          | Pool.Lost _ -> None)
+        (Array.to_list pool.Pool.outcomes)
+    in
+    merge results
+  end

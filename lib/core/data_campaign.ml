@@ -12,6 +12,9 @@ module Packet = Switchv_packet.Packet
 module Term = Switchv_smt.Term
 module Telemetry = Switchv_telemetry.Telemetry
 module Repro = Switchv_triage.Repro
+module Shard = Switchv_parallel.Shard
+module Pool = Switchv_parallel.Pool
+module Jsonp = Switchv_triage.Jsonp
 
 type config = {
   entries : Entry.t list;
@@ -22,12 +25,13 @@ type config = {
   cache : Cache.t option;
   max_incidents : int;
   test_packet_io : bool;
+  shards : int;
 }
 
 let default_config entries =
   { entries; ports = [ 1; 2; 3; 4 ]; extra_goals = (fun _ -> []);
     include_branch_goals = true; prune_dead_goals = true;
-    cache = None; max_incidents = 25; test_packet_io = true }
+    cache = None; max_incidents = 25; test_packet_io = true; shards = 1 }
 
 let exploratory_goals (enc : Symexec.encoding) =
   let ether_type = Term.var (Symexec.field_var ~header:"ethernet" ~field:"ether_type") 16 in
@@ -135,7 +139,161 @@ let pp_behavior_set fmt bs =
        Interp.pp_behavior)
     bs
 
-let run ?(push_p4info = true) stack config =
+(* --- goal slices -----------------------------------------------------------
+
+   The campaign shards by coverage-goal partition: contiguous slices of the
+   (deterministically ordered) goal list, each generated and tested
+   independently against the already-installed stack. A slice's result is a
+   pure function of [(config, encoding, slice)] — [Packetgen.generate] runs
+   a fresh solver per call and [index_offset] keeps the port-preference
+   cycle aligned with the goal's global index — so merged results are
+   independent of whether slices ran sequentially or in forked workers. *)
+
+type slice_result = {
+  sl_incidents : Report.incident list;
+  sl_covered : int;
+  sl_uncoverable : int;
+  sl_tested : int;
+  sl_gen_s : float;
+  sl_test_s : float;
+  sl_hits : int;
+  sl_misses : int;
+}
+
+(* Incident-budget rule that makes the cap exact under sharding: every
+   slice counts from the parent's post-install incident count and may use
+   the full budget; the merge truncates the in-order concatenation to
+   [max_incidents]. Since each slice keeps at least as many incidents as
+   any merged prefix can demand of it, truncation yields exactly the
+   sequential campaign's list. *)
+let run_slice stack config ~model_cfg ~encoding ~base_incidents (offset, goals) =
+  let tele = Telemetry.get () in
+  let sl_incidents = ref [] in
+  let n_incidents = ref base_incidents in
+  let add ?context ?repro kind detail =
+    if !n_incidents < config.max_incidents then begin
+      incr n_incidents;
+      sl_incidents :=
+        Report.incident ?context ?repro Report.Symbolic ~kind ~detail
+        :: !sl_incidents
+    end
+  in
+  let hits_before = match config.cache with Some c -> Cache.hits c | None -> 0 in
+  let misses_before = match config.cache with Some c -> Cache.misses c | None -> 0 in
+  let gen_start = Telemetry.Clock.now () in
+  let generated =
+    Telemetry.with_span tele "campaign.generation" (fun () ->
+        Packetgen.generate ~ports:config.ports ~index_offset:offset
+          ?cache:config.cache encoding goals)
+  in
+  let sl_gen_s = Telemetry.Clock.duration ~since:gen_start in
+  let test_start = Telemetry.Clock.now () in
+  let tested = ref 0 in
+  Telemetry.with_span tele "campaign.testing" (fun () ->
+      List.iter
+        (fun (tp : Packetgen.test_packet) ->
+          match tp.tp_bytes with
+          | None -> ()
+          | Some bytes when !n_incidents < config.max_incidents -> (
+              incr tested;
+              let context =
+                let table =
+                  match tp.tp_kind with
+                  | Packetgen.G_entry { ge_table; _ } -> Some ge_table
+                  | _ -> None
+                in
+                Report.context ?table ~goal:tp.tp_goal ()
+              in
+              let repro =
+                Repro.Data
+                  { dr_entries = config.entries; dr_port = tp.tp_port;
+                    dr_bytes = bytes }
+              in
+              let switch_b = Stack.inject stack ~ingress_port:tp.tp_port bytes in
+              match
+                Interp.enumerate_behaviors model_cfg ~ingress_port:tp.tp_port bytes
+              with
+              | exception Interp.Parse_failure msg ->
+                  add "model parse failure" ~context ~repro
+                    (Printf.sprintf "goal %s generated an unparseable packet: %s"
+                       tp.tp_goal msg)
+              | model_bs ->
+                  if not (List.exists (Interp.behavior_equal switch_b) model_bs) then
+                    add "behavior divergence" ~context ~repro
+                      (Format.asprintf
+                         "goal %s (port %d): switch behaved %a, model admits %a"
+                         tp.tp_goal tp.tp_port Interp.pp_behavior switch_b
+                         pp_behavior_set model_bs))
+          | Some _ -> ())
+        generated.packets);
+  let sl_test_s = Telemetry.Clock.duration ~since:test_start in
+  { sl_incidents = List.rev !sl_incidents;
+    sl_covered = generated.covered;
+    sl_uncoverable = generated.uncoverable;
+    sl_tested = !tested;
+    sl_gen_s;
+    sl_test_s;
+    sl_hits =
+      (match config.cache with Some c -> Cache.hits c - hits_before | None -> 0);
+    sl_misses =
+      (match config.cache with Some c -> Cache.misses c - misses_before | None -> 0) }
+
+module Json = Telemetry.Json
+
+let serialize_slice r =
+  Json.obj
+    [ ("incidents", Json.arr (List.map Report.incident_ipc_to_json r.sl_incidents));
+      ("covered", Json.int r.sl_covered);
+      ("uncoverable", Json.int r.sl_uncoverable);
+      ("tested", Json.int r.sl_tested);
+      ("gen_s", Json.num r.sl_gen_s); ("test_s", Json.num r.sl_test_s);
+      ("cache_hits", Json.int r.sl_hits); ("cache_misses", Json.int r.sl_misses) ]
+
+let deserialize_slice payload =
+  let ( let* ) = Result.bind in
+  let* j = Jsonp.parse payload in
+  let int name =
+    match Option.bind (Jsonp.member name j) Jsonp.to_int with
+    | Some n -> Ok n
+    | None -> Error (Printf.sprintf "data slice payload: missing field %S" name)
+  in
+  let num name =
+    match Option.bind (Jsonp.member name j) Jsonp.to_num with
+    | Some f -> Ok f
+    | None -> Error (Printf.sprintf "data slice payload: missing field %S" name)
+  in
+  let* sl_incidents =
+    match Jsonp.member "incidents" j with
+    | Some (Jsonp.Arr xs) ->
+        List.fold_left
+          (fun acc x ->
+            let* acc = acc in
+            let* i = Report.incident_of_ipc_json x in
+            Ok (i :: acc))
+          (Ok []) xs
+        |> Result.map List.rev
+    | _ -> Error "data slice payload: missing incidents"
+  in
+  let* sl_covered = int "covered" in
+  let* sl_uncoverable = int "uncoverable" in
+  let* sl_tested = int "tested" in
+  let* sl_gen_s = num "gen_s" in
+  let* sl_test_s = num "test_s" in
+  let* sl_hits = int "cache_hits" in
+  let* sl_misses = int "cache_misses" in
+  Ok
+    { sl_incidents; sl_covered; sl_uncoverable; sl_tested; sl_gen_s; sl_test_s;
+      sl_hits; sl_misses }
+
+let truncate n xs =
+  let rec go n = function
+    | x :: tl when n > 0 -> x :: go (n - 1) tl
+    | _ -> []
+  in
+  go n xs
+
+let run ?(push_p4info = true) ?(jobs = 1) stack config =
+  let tele = Telemetry.get () in
   let incidents = ref [] in
   (* Counted separately: [List.length !incidents] per packet made the cutoff
      check quadratic in max_incidents. *)
@@ -174,12 +332,11 @@ let run ?(push_p4info = true) stack config =
       hash_mode = Interp.Fixed 0;
       mirror_map = Workload.mirror_map config.entries }
   in
-  let cache_hits_before = match config.cache with Some c -> Cache.hits c | None -> 0 in
-  let cache_misses_before = match config.cache with Some c -> Cache.misses c | None -> 0 in
-  (* Generation stage (timed separately, as in Table 3). *)
-  let gen_start = Unix.gettimeofday () in
-  let goals, generated =
-    Telemetry.with_span (Telemetry.get ()) "campaign.generation" (fun () ->
+  (* Generation prelude — encoding, goal construction, static pruning — runs
+     once in the parent; forked workers inherit the result copy-on-write. *)
+  let prep_start = Telemetry.Clock.now () in
+  let encoding, goals =
+    Telemetry.with_span tele "campaign.generation" (fun () ->
         let encoding = Symexec.encode (Stack.program stack) config.entries in
         (* Prefer forwarded packets: a goal packet that both sides drop (e.g.
            TTL 0) exercises the entry but observes nothing. The preference is
@@ -205,51 +362,66 @@ let run ?(push_p4info = true) stack config =
               goals
           else goals
         in
-        let generated =
-          Packetgen.generate ~ports:config.ports ?cache:config.cache encoding goals
-        in
-        (goals, generated))
+        (encoding, goals))
   in
-  let gen_time = Unix.gettimeofday () -. gen_start in
-  (* Testing stage. *)
-  let test_start = Unix.gettimeofday () in
-  let tested = ref 0 in
-  Telemetry.with_span (Telemetry.get ()) "campaign.testing" (fun () ->
-  List.iter
-    (fun (tp : Packetgen.test_packet) ->
-      match tp.tp_bytes with
-      | None -> ()
-      | Some bytes when !n_incidents < config.max_incidents -> (
-          incr tested;
-          let context =
-            let table =
-              match tp.tp_kind with
-              | Packetgen.G_entry { ge_table; _ } -> Some ge_table
-              | _ -> None
-            in
-            Report.context ?table ~goal:tp.tp_goal ()
-          in
-          let repro =
-            Repro.Data
-              { dr_entries = config.entries; dr_port = tp.tp_port; dr_bytes = bytes }
-          in
-          let switch_b = Stack.inject stack ~ingress_port:tp.tp_port bytes in
-          match Interp.enumerate_behaviors model_cfg ~ingress_port:tp.tp_port bytes with
-          | exception Interp.Parse_failure msg ->
-              add "model parse failure" ~context ~repro
-                (Printf.sprintf "goal %s generated an unparseable packet: %s" tp.tp_goal msg)
-          | model_bs ->
-              if not (List.exists (Interp.behavior_equal switch_b) model_bs) then
-                add "behavior divergence" ~context ~repro
-                  (Format.asprintf
-                     "goal %s (port %d): switch behaved %a, model admits %a" tp.tp_goal
-                     tp.tp_port Interp.pp_behavior switch_b pp_behavior_set model_bs))
-      | Some _ -> ())
-    generated.packets;
-  (* Packet I/O contract. The submit-to-ingress payload is crafted to be
-     routable under the installed entries (admitted MAC + covered dst), so
-     that broken submit-to-ingress processing is observable. *)
-  if config.test_packet_io && !n_incidents < config.max_incidents then begin
+  let prep_s = Telemetry.Clock.duration ~since:prep_start in
+  let shards = max 1 config.shards in
+  let slices = Shard.partition ~shards goals in
+  let base_incidents = !n_incidents in
+  let slice_results =
+    if jobs <= 1 || shards = 1 then
+      (* Sequential path: the identical decomposition, run in shard order
+         in-process (no serialization round-trip). *)
+      Array.to_list
+        (Array.map (run_slice stack config ~model_cfg ~encoding ~base_incidents)
+           slices)
+    else begin
+      let task s =
+        serialize_slice
+          (run_slice stack config ~model_cfg ~encoding ~base_incidents slices.(s))
+      in
+      let pool = Pool.run ~jobs ~shards task in
+      List.filter_map
+        (function
+          | Pool.Done payload -> (
+              match deserialize_slice payload with
+              | Ok r -> Some r
+              | Error e ->
+                  (* Same degradation contract as a crashed worker: drop the
+                     slice, keep the campaign. *)
+                  Telemetry.incr tele "parallel.workers_failed";
+                  Printf.eprintf
+                    "switchv: dropping undecodable data slice: %s\n%!" e;
+                  None)
+          | Pool.Lost _ -> None)
+        (Array.to_list pool.Pool.outcomes)
+    end
+  in
+  (* Merge in slice order; see the budget rule above [run_slice]. *)
+  let merged_incidents =
+    truncate (config.max_incidents - base_incidents)
+      (List.concat_map (fun r -> r.sl_incidents) slice_results)
+  in
+  n_incidents := base_incidents + List.length merged_incidents;
+  incidents := List.rev_append merged_incidents !incidents;
+  let covered = List.fold_left (fun a r -> a + r.sl_covered) 0 slice_results in
+  let uncoverable = List.fold_left (fun a r -> a + r.sl_uncoverable) 0 slice_results in
+  let tested = List.fold_left (fun a r -> a + r.sl_tested) 0 slice_results in
+  let gen_time =
+    List.fold_left (fun a r -> a +. Float.max 0. r.sl_gen_s) prep_s slice_results
+  in
+  let slice_test_time =
+    List.fold_left (fun a r -> a +. Float.max 0. r.sl_test_s) 0. slice_results
+  in
+  let cache_hits = List.fold_left (fun a r -> a + r.sl_hits) 0 slice_results in
+  let cache_misses = List.fold_left (fun a r -> a + r.sl_misses) 0 slice_results in
+  (* Packet I/O contract, in the parent, after the merge (so the incident
+     cap applies to the merged list). The submit-to-ingress payload is
+     crafted to be routable under the installed entries (admitted MAC +
+     covered dst), so that broken submit-to-ingress processing is
+     observable. *)
+  let io_start = Telemetry.Clock.now () in
+  (if config.test_packet_io && !n_incidents < config.max_incidents then begin
     let payload =
       let admit_mac =
         List.find_map
@@ -308,20 +480,16 @@ let run ?(push_p4info = true) stack config =
         (Format.asprintf "switch behaved %a, model admits %a" Interp.pp_behavior switch_b
            pp_behavior_set model_bs)
   end);
-  let test_time = Unix.gettimeofday () -. test_start in
+  let test_time = slice_test_time +. Telemetry.Clock.duration ~since:io_start in
   let stats =
     { Report.ds_entries_installed = installed;
       ds_goals = List.length goals;
-      ds_covered = generated.covered;
-      ds_uncoverable = generated.uncoverable;
-      ds_packets_tested = !tested;
+      ds_covered = covered;
+      ds_uncoverable = uncoverable;
+      ds_packets_tested = tested;
       ds_generation_time = gen_time;
       ds_testing_time = test_time;
-      ds_cache_hits =
-        (match config.cache with Some c -> Cache.hits c - cache_hits_before | None -> 0);
-      ds_cache_misses =
-        (match config.cache with
-        | Some c -> Cache.misses c - cache_misses_before
-        | None -> 0) }
+      ds_cache_hits = cache_hits;
+      ds_cache_misses = cache_misses }
   in
   (List.rev !incidents, stats)

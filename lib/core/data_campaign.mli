@@ -28,15 +28,30 @@ type config = {
   cache : Cache.t option;
   max_incidents : int;
   test_packet_io : bool;
+  shards : int;
+      (** Number of coverage-goal slices the generation + testing stages
+          split into ([1] = the historical single-pass campaign). The
+          slicing is a function of the goal list alone, so results at a
+          given shard count are identical at any [jobs] count; shards
+          share the on-disk packet cache. *)
 }
 
 val default_config : Entry.t list -> config
 
 val run :
   ?push_p4info:bool ->
+  ?jobs:int ->
   Stack.t ->
   config ->
   Report.incident list * Report.data_stats
+(** Install the entries, then generate + test each goal slice —
+    sequentially when [jobs <= 1] (the default), else over a forked
+    {!Switchv_parallel.Pool} whose workers inherit the installed stack
+    and symbolic encoding copy-on-write. Slice results merge in slice
+    order with the incident list truncated to [max_incidents]; the
+    packet-I/O contract runs in the parent after the merge. A lost
+    worker drops its slices (logged, [parallel.workers_failed]) without
+    aborting the campaign. *)
 
 val exploratory_goals : Switchv_symbolic.Symexec.encoding -> Packetgen.goal list
 (** Canned tester assertions beyond entry coverage: unusual ether types

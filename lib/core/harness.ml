@@ -24,6 +24,8 @@ type config = {
   fuzzed_data_pass : bool;
   max_incidents : int;
   triage : triage option;
+  jobs : int;
+  data_shards : int;
 }
 
 (* Entries readable from a switch come back in insertion order of the
@@ -67,7 +69,9 @@ let default_config entries =
     exploratory = true;
     fuzzed_data_pass = false;
     max_incidents = 25;
-    triage = Some default_triage }
+    triage = Some default_triage;
+    jobs = 1;
+    data_shards = 1 }
 
 (* Shrink a reproducer to a 1-minimal input: each ddmin probe replays a
    candidate against a freshly provisioned stack. Sound because a clean
@@ -150,9 +154,12 @@ let run_triage mk_stack (cfg : triage) control data =
 let validate mk_stack config =
   let tele = Telemetry.get () in
   Telemetry.with_span tele "harness.validate" @@ fun () ->
+  (* Shard 0 of the control campaign always runs in this process on
+     [control_stack], so the fuzzed-entry harvest below sees the switch
+     state it left behind even when the other shards ran in workers. *)
   let control_stack = mk_stack () in
   let control_incidents, control_stats =
-    Control_campaign.run control_stack
+    Control_campaign.run_sharded ~jobs:config.jobs ~stack0:control_stack mk_stack
       { config.control with max_incidents = config.max_incidents }
   in
   (* §7 extension: harvest the entries the fuzzing campaign left on the
@@ -181,10 +188,13 @@ let validate mk_stack config =
     { (Data_campaign.default_config config.data_entries) with
       cache = config.cache;
       max_incidents = config.max_incidents;
+      shards = config.data_shards;
       extra_goals =
         (if config.exploratory then Data_campaign.exploratory_goals else fun _ -> []) }
   in
-  let data_incidents, data_stats = Data_campaign.run data_stack data_config in
+  let data_incidents, data_stats =
+    Data_campaign.run ~jobs:config.jobs data_stack data_config
+  in
   let fuzzed_incidents =
     if fuzzed_entries = [] then []
     else begin

@@ -40,6 +40,15 @@ type config = {
   triage : triage option;
       (** Post-campaign triage pass ({!default_triage} by default);
           [None] reports raw miscompares untriaged. *)
+  jobs : int;
+      (** Worker processes for sharded campaign execution (default 1 =
+          fully sequential, no forking). The shard decompositions are
+          fixed by [control.shards] / [data_shards], so the report's
+          incidents, clusters, and corpus records are identical at any
+          [jobs] value. *)
+  data_shards : int;
+      (** Coverage-goal slices for the data campaign (see
+          {!Data_campaign.config}[.shards]). *)
 }
 
 val default_config : Entry.t list -> config

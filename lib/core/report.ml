@@ -185,6 +185,96 @@ let incident_to_json (origin, i) =
       ("fingerprint", Json.str (fingerprint i));
       ("repro", opt Repro.to_json i.repro) ]
 
+(* --- IPC (de)serialization -------------------------------------------------
+
+   Sharded campaigns run in forked workers and stream incidents + stats back
+   to the parent as JSON. These converters are exact inverses over every
+   value the campaigns produce, which is what makes a merged parallel report
+   identical to the sequential one. *)
+
+module Jsonp = Switchv_triage.Jsonp
+
+let detector_of_string = function
+  | "p4-fuzzer" -> Some Fuzzer
+  | "p4-symbolic" -> Some Symbolic
+  | _ -> None
+
+let context_of_json j =
+  let str name = Option.bind (Jsonp.member name j) Jsonp.to_str in
+  { ctx_table = str "table";
+    ctx_goal = str "goal";
+    ctx_mutation = str "mutation";
+    ctx_batch = Option.bind (Jsonp.member "batch" j) Jsonp.to_int }
+
+let incident_ipc_to_json i =
+  Json.obj
+    [ ("detector", Json.str (detector_to_string i.detector));
+      ("kind", Json.str i.kind); ("detail", Json.str i.detail);
+      ("context", opt context_to_json i.context);
+      ("repro", opt Repro.to_json i.repro) ]
+
+let incident_of_ipc_json j =
+  let ( let* ) = Result.bind in
+  let str name =
+    match Option.bind (Jsonp.member name j) Jsonp.to_str with
+    | Some s -> Ok s
+    | None -> Error (Printf.sprintf "incident: missing field %S" name)
+  in
+  let* det = str "detector" in
+  let* detector =
+    match detector_of_string det with
+    | Some d -> Ok d
+    | None -> Error (Printf.sprintf "incident: unknown detector %S" det)
+  in
+  let* kind = str "kind" in
+  let* detail = str "detail" in
+  let context =
+    match Jsonp.member "context" j with
+    | Some (Jsonp.Obj _ as cj) -> Some (context_of_json cj)
+    | _ -> None
+  in
+  let* repro =
+    match Jsonp.member "repro" j with
+    | None | Some Jsonp.Null -> Ok None
+    | Some rj -> Result.map Option.some (Repro.of_json rj)
+  in
+  Ok { detector; kind; detail; context; repro }
+
+let control_stats_of_json j =
+  let ( let* ) = Result.bind in
+  let int name =
+    match Option.bind (Jsonp.member name j) Jsonp.to_int with
+    | Some n -> Ok n
+    | None -> Error (Printf.sprintf "control_stats: missing field %S" name)
+  in
+  let num name =
+    match Option.bind (Jsonp.member name j) Jsonp.to_num with
+    | Some f -> Ok f
+    | None -> Error (Printf.sprintf "control_stats: missing field %S" name)
+  in
+  let* cs_batches = int "batches" in
+  let* cs_updates = int "updates" in
+  let* cs_valid_updates = int "valid_updates" in
+  let* cs_invalid_updates = int "invalid_updates" in
+  let* cs_duration = num "duration_s" in
+  Ok { cs_batches; cs_updates; cs_valid_updates; cs_invalid_updates; cs_duration }
+
+let empty_control_stats =
+  { cs_batches = 0; cs_updates = 0; cs_valid_updates = 0; cs_invalid_updates = 0;
+    cs_duration = 0. }
+
+let merge_control_stats ss =
+  (* Durations are clamped at zero per shard: a worker whose clock stepped
+     backwards must not subtract time from the merged total. *)
+  List.fold_left
+    (fun acc s ->
+      { cs_batches = acc.cs_batches + s.cs_batches;
+        cs_updates = acc.cs_updates + s.cs_updates;
+        cs_valid_updates = acc.cs_valid_updates + s.cs_valid_updates;
+        cs_invalid_updates = acc.cs_invalid_updates + s.cs_invalid_updates;
+        cs_duration = acc.cs_duration +. Float.max 0. s.cs_duration })
+    empty_control_stats ss
+
 let to_json t =
   Json.obj
     [ ("program", Json.str t.program_name);

@@ -105,6 +105,38 @@ val detected_by : t -> detector option
 
 val pp : Format.formatter -> t -> unit
 
+(** {1 IPC (de)serialization}
+
+    Sharded campaigns ({!Control_campaign.run_sharded}, sharded
+    {!Data_campaign.run}) serialize per-shard results in forked workers and
+    deserialize them in the parent. The converters are exact inverses over
+    every value the campaigns produce — the merged parallel report is
+    byte-identical to the sequential one because nothing is lost in the
+    round-trip. *)
+
+val detector_of_string : string -> detector option
+
+val context_of_json : Switchv_triage.Jsonp.t -> context
+(** Total: absent or ill-typed fields become [None]. *)
+
+val incident_ipc_to_json : incident -> string
+(** Full-fidelity incident (including the reproducer), unlike the
+    report-archive rendering in {!to_json} which adds campaign tags and
+    fingerprints. *)
+
+val incident_of_ipc_json :
+  Switchv_triage.Jsonp.t -> (incident, string) result
+
+val control_stats_to_json : control_stats -> string
+
+val control_stats_of_json :
+  Switchv_triage.Jsonp.t -> (control_stats, string) result
+(** Inverse of {!control_stats_to_json}. *)
+
+val merge_control_stats : control_stats list -> control_stats
+(** Field-wise sums; each shard's duration is clamped at [>= 0] before
+    summing, so a worker with a stepping clock cannot subtract time. *)
+
 val to_json : t -> string
 (** Machine-readable one-line JSON rendering (hand-rolled, no
     dependencies) for archiving nightly reports. Schema:

@@ -144,6 +144,10 @@ let accept_kw st kw =
 
 (* --- parsing context ------------------------------------------------------------ *)
 
+(* [headers], [actions], and [tables] accumulate in reverse declaration
+   order (cons, not append — appending one element per declaration made
+   parsing O(n²) on large models); the program constructor reverses them
+   once. *)
 type ctx = {
   mutable headers : Header.t list;
   mutable meta_fields : (string * int) list;
@@ -336,7 +340,7 @@ let parse_header ctx st =
   while not (accept_punct st "}") do
     fields := parse_bit_field st :: !fields
   done;
-  ctx.headers <- ctx.headers @ [ Header.make name (List.rev !fields) ]
+  ctx.headers <- Header.make name (List.rev !fields) :: ctx.headers
 
 let parse_metadata ctx st =
   ignore (expect_id st) (* struct name *);
@@ -445,7 +449,7 @@ let parse_action ctx st =
     body := parse_stmt st ~in_action:true :: !body
   done;
   ctx.actions <-
-    ctx.actions @ [ { a_name; a_params = List.rev !params; a_body = List.rev !body } ]
+    { a_name; a_params = List.rev !params; a_body = List.rev !body } :: ctx.actions
 
 let kind_of_string line = function
   | "exact" -> Exact
@@ -538,10 +542,10 @@ let parse_table ctx st ~restriction ~id =
   expect_punct st ";";
   expect_punct st "}";
   ctx.tables <-
-    ctx.tables
-    @ [ { t_name; t_id; t_keys = List.rev !keys; t_actions = List.rev !actions;
-          t_default_action = (dname, List.rev !dargs); t_size;
-          t_entry_restriction = restriction; t_selector } ]
+    { t_name; t_id; t_keys = List.rev !keys; t_actions = List.rev !actions;
+      t_default_action = (dname, List.rev !dargs); t_size;
+      t_entry_restriction = restriction; t_selector }
+    :: ctx.tables
 
 let apply_path path =
   match String.split_on_char '.' path with
@@ -644,11 +648,11 @@ let parse ~name source =
     in
     Ok
       { p_name = name;
-        p_headers = ctx.headers;
+        p_headers = List.rev ctx.headers;
         p_metadata = ctx.meta_fields;
         p_parser = parser_;
-        p_actions = ctx.actions;
-        p_tables = ctx.tables;
+        p_actions = List.rev ctx.actions;
+        p_tables = List.rev ctx.tables;
         p_ingress = Option.value ~default:C_nop ctx.ingress;
         p_egress = Option.value ~default:C_nop ctx.egress }
   with Error msg -> Result.error msg

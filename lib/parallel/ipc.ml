@@ -1,0 +1,79 @@
+(* Length-prefixed frames over raw file descriptors.
+
+   Workers write whole frames with [Unix.write] (no stdlib channels: a
+   forked child sharing a buffered channel with its parent would flush the
+   parent's buffered bytes a second time), and the parent decodes
+   incrementally — it multiplexes many pipes with [select], so it must
+   accept partial reads and frames split across reads. *)
+
+exception Corrupt of string
+
+(* 4-byte big-endian length, then the payload. *)
+let header_len = 4
+
+(* A frame larger than this is corruption (a campaign shard's serialized
+   results are a few MB at the very worst), not data. *)
+let max_frame_len = 1 lsl 28
+
+let rec write_all fd bytes off len =
+  if len > 0 then begin
+    let n = Unix.write fd bytes off len in
+    write_all fd bytes (off + n) (len - n)
+  end
+
+let write_frame fd payload =
+  let n = String.length payload in
+  if n > max_frame_len then invalid_arg "Ipc.write_frame: frame too large";
+  let b = Bytes.create (header_len + n) in
+  Bytes.set b 0 (Char.chr ((n lsr 24) land 0xff));
+  Bytes.set b 1 (Char.chr ((n lsr 16) land 0xff));
+  Bytes.set b 2 (Char.chr ((n lsr 8) land 0xff));
+  Bytes.set b 3 (Char.chr (n land 0xff));
+  Bytes.blit_string payload 0 b header_len n;
+  write_all fd b 0 (header_len + n)
+
+type decoder = {
+  mutable buf : Bytes.t;
+  mutable start : int;   (* first unconsumed byte *)
+  mutable len : int;     (* valid bytes from [start] *)
+}
+
+let decoder () = { buf = Bytes.create 65536; start = 0; len = 0 }
+
+let feed d src n =
+  (* Compact consumed space, then grow if the appended bytes still do not
+     fit; amortized linear in total bytes fed. *)
+  if d.start > 0 then begin
+    Bytes.blit d.buf d.start d.buf 0 d.len;
+    d.start <- 0
+  end;
+  let needed = d.len + n in
+  if needed > Bytes.length d.buf then begin
+    let cap = ref (Bytes.length d.buf) in
+    while needed > !cap do
+      cap := !cap * 2
+    done;
+    let bigger = Bytes.create !cap in
+    Bytes.blit d.buf 0 bigger 0 d.len;
+    d.buf <- bigger
+  end;
+  Bytes.blit src 0 d.buf d.len n;
+  d.len <- d.len + n
+
+let next d =
+  if d.len < header_len then None
+  else begin
+    let byte i = Char.code (Bytes.get d.buf (d.start + i)) in
+    let n = (byte 0 lsl 24) lor (byte 1 lsl 16) lor (byte 2 lsl 8) lor byte 3 in
+    if n < 0 || n > max_frame_len then
+      raise (Corrupt (Printf.sprintf "frame length %d out of range" n));
+    if d.len < header_len + n then None
+    else begin
+      let payload = Bytes.sub_string d.buf (d.start + header_len) n in
+      d.start <- d.start + header_len + n;
+      d.len <- d.len - header_len - n;
+      Some payload
+    end
+  end
+
+let pending d = d.len > 0

@@ -1,0 +1,28 @@
+(** Length-prefixed framing over raw Unix file descriptors.
+
+    The worker side writes complete frames; the parent side feeds whatever
+    [Unix.read] returned into a {!decoder} and pops complete frames as
+    they materialize, so a select loop can interleave many workers without
+    ever blocking on a half-written frame. *)
+
+exception Corrupt of string
+(** A length prefix that cannot be a real frame (negative or absurdly
+    large) — the stream is unusable from here on. *)
+
+val write_frame : Unix.file_descr -> string -> unit
+(** Write one [4-byte big-endian length + payload] frame, retrying short
+    writes. *)
+
+type decoder
+
+val decoder : unit -> decoder
+
+val feed : decoder -> Bytes.t -> int -> unit
+(** [feed d src n] appends the first [n] bytes of [src]. *)
+
+val next : decoder -> string option
+(** Pop the next complete frame, if one is buffered.
+    @raise Corrupt on an invalid length prefix. *)
+
+val pending : decoder -> bool
+(** Undecoded bytes remain (diagnostic: true at EOF means a torn tail). *)

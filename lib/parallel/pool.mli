@@ -1,0 +1,41 @@
+(** Fork-based worker pool for campaign sharding.
+
+    [run ~jobs ~shards task] executes [task s] for every shard id
+    [0 .. shards-1] and returns the results indexed by shard, regardless
+    of which worker ran what or in what order frames arrived. Workers are
+    forked {e after} the caller's setup, so they inherit the parsed
+    program, installed stack, and symbolic encoding copy-on-write.
+
+    Each worker streams one length-prefixed JSON frame per shard:
+    the serialized payload (or an error) plus a telemetry export taken
+    from a per-shard fresh registry, which the parent absorbs into the
+    ambient registry so counters and histograms survive the process
+    boundary.
+
+    Failure is containment, not abort: a crashed, erroring, or
+    deadline-silent worker forfeits its undelivered shards, which come
+    back as {!Lost}; the [parallel.workers_failed] counter is bumped and
+    the loss logged to stderr. SIGINT kills and reaps every worker, then
+    re-raises [Sys.Break]. *)
+
+type outcome =
+  | Done of string  (** the payload [task] returned for this shard *)
+  | Lost of string  (** shard not executed; the reason *)
+
+type result = {
+  outcomes : outcome array;  (** indexed by shard id *)
+  workers_failed : int;
+}
+
+val run :
+  ?deadline_s:float ->
+  ?parent_shards:int list ->
+  jobs:int ->
+  shards:int ->
+  (int -> string) ->
+  result
+(** @param deadline_s kill a worker with no output for this long
+      (default 300).
+    @param parent_shards shards to run in this process after forking the
+      workers — used when a shard's side effects (e.g. a populated stack
+      to harvest entries from) are needed in the parent. *)

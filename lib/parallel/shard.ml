@@ -1,0 +1,43 @@
+(* Deterministic work decomposition. Everything here depends only on
+   (total, shards) — never on the number of workers — so the same campaign
+   splits into the same shards whether it runs on one core or sixteen. *)
+
+let counts ~total ~shards =
+  let shards = max 1 shards in
+  let base = total / shards and extra = total mod shards in
+  Array.init shards (fun i -> base + if i < extra then 1 else 0)
+
+let offsets ~total ~shards =
+  let c = counts ~total ~shards in
+  let off = ref 0 in
+  Array.map
+    (fun n ->
+      let o = !off in
+      off := o + n;
+      (o, n))
+    c
+
+let partition ~shards xs =
+  let slices = offsets ~total:(List.length xs) ~shards in
+  let remaining = ref xs in
+  Array.map
+    (fun (off, len) ->
+      let rec take n acc rest =
+        if n = 0 then (List.rev acc, rest)
+        else
+          match rest with
+          | [] -> (List.rev acc, [])
+          | x :: tl -> take (n - 1) (x :: acc) tl
+      in
+      let slice, rest = take len [] !remaining in
+      remaining := rest;
+      (off, slice))
+    slices
+
+let assignment ~jobs ~shards =
+  let jobs = max 1 (min jobs (max 1 shards)) in
+  let plan = Array.make jobs [] in
+  for s = shards - 1 downto 0 do
+    plan.(s mod jobs) <- s :: plan.(s mod jobs)
+  done;
+  plan

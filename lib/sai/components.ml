@@ -59,28 +59,38 @@ let standard_parser =
         { ps_name = "parse_icmp"; ps_extract = Some "icmp"; ps_next = T_accept } ] }
 
 (* Variant of the standard parser that also recognises GRE (IP proto 47),
-   for the roles that model tunnels. *)
+   for the roles that model tunnels. Built in one pass (fold over the
+   standard states, consing the extra GRE leaf state first) rather than by
+   appending single elements to list tails. *)
 let parser_with_gre =
+  let gre_leaf = { ps_name = "parse_gre"; ps_extract = Some "gre"; ps_next = T_accept } in
+  let with_gre_arm s =
+    if String.equal s.ps_name "parse_ipv4" then
+      { s with
+        ps_next =
+          (match s.ps_next with
+          | T_select (e, cases, default) ->
+              (* The GRE arm follows the existing protocol arms, ahead of
+                 the default. *)
+              T_select
+                ( e,
+                  List.rev ((Bitvec.of_int ~width:8 47, "parse_gre") :: List.rev cases),
+                  default )
+          | t -> t) }
+    else s
+  in
   { standard_parser with
     states =
-      List.map
-        (fun s ->
-          if String.equal s.ps_name "parse_ipv4" then
-            { s with
-              ps_next =
-                (match s.ps_next with
-                | T_select (e, cases, default) ->
-                    T_select (e, cases @ [ (Bitvec.of_int ~width:8 47, "parse_gre") ], default)
-                | t -> t) }
-          else s)
-        standard_parser.states
-      @ [ { ps_name = "parse_gre"; ps_extract = Some "gre"; ps_next = T_accept } ] }
+      List.fold_left
+        (fun acc s -> with_gre_arm s :: acc)
+        [ gre_leaf ] (List.rev standard_parser.states) }
 
 let standard_headers =
   [ Header.ethernet; Header.ipv4; Header.ipv6; Header.arp; Header.tcp;
     Header.udp; Header.icmp ]
 
-let headers_with_gre = standard_headers @ [ Header.gre ]
+let headers_with_gre =
+  List.rev (Header.gre :: List.rev standard_headers)
 
 (* --- actions -------------------------------------------------------------- *)
 

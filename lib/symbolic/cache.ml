@@ -15,6 +15,36 @@ let on_disk dir = { backend = Disk dir; table = Hashtbl.create 16; n_hits = 0; n
 
 let path dir key = Filename.concat dir (key ^ ".cache")
 
+(* On-disk entries carry a tiny header — "swvc1 <payload-length>\n" — so a
+   torn write (crash mid-write, or a reader racing a non-atomic writer from
+   an older binary) is detectable: a file whose body is not exactly the
+   declared length is treated as absent. *)
+let magic = "swvc1"
+
+let encode payload =
+  Printf.sprintf "%s %d\n%s" magic (String.length payload) payload
+
+let decode raw =
+  match String.index_opt raw '\n' with
+  | None -> None
+  | Some nl -> (
+      match String.split_on_char ' ' (String.sub raw 0 nl) with
+      | [ m; len ] when String.equal m magic -> (
+          match int_of_string_opt len with
+          | Some n when n >= 0 && String.length raw = nl + 1 + n ->
+              Some (String.sub raw (nl + 1) n)
+          | _ -> None)
+      | _ -> None)
+
+let read_file file =
+  let ic = open_in_bin file in
+  Fun.protect
+    ~finally:(fun () -> close_in_noerr ic)
+    (fun () -> really_input_string ic (in_channel_length ic))
+
+let corrupt_dropped () =
+  Telemetry.incr (Telemetry.get ()) "cache.corrupt_dropped"
+
 let find t ~key =
   let result =
     match Hashtbl.find_opt t.table key with
@@ -23,16 +53,23 @@ let find t ~key =
         match t.backend with
         | Memory -> None
         | Disk dir -> (
+            (* An unreadable or corrupt file is a miss, never a failure: a
+               crash may leave garbage behind, and parallel workers share
+               this directory. *)
             let file = path dir key in
-            if Sys.file_exists file then begin
-              let ic = open_in_bin file in
-              let n = in_channel_length ic in
-              let payload = really_input_string ic n in
-              close_in ic;
-              Hashtbl.replace t.table key payload;
-              Some payload
-            end
-            else None))
+            match (if Sys.file_exists file then Some (read_file file) else None) with
+            | exception _ ->
+                corrupt_dropped ();
+                None
+            | None -> None
+            | Some raw -> (
+                match decode raw with
+                | Some payload ->
+                    Hashtbl.replace t.table key payload;
+                    Some payload
+                | None ->
+                    corrupt_dropped ();
+                    None)))
   in
   (match result with
   | Some _ ->
@@ -43,15 +80,37 @@ let find t ~key =
       Telemetry.incr (Telemetry.get ()) "cache.misses");
   result
 
+(* [Sys.mkdir] is neither recursive nor race-tolerant: two workers creating
+   the cache directory simultaneously would crash the loser. *)
+let rec mkdir_p dir =
+  if not (Sys.file_exists dir) then begin
+    let parent = Filename.dirname dir in
+    if String.length parent < String.length dir then mkdir_p parent;
+    try Sys.mkdir dir 0o755
+    with Sys_error _ when Sys.file_exists dir -> ()
+  end
+
 let store t ~key payload =
   Hashtbl.replace t.table key payload;
   match t.backend with
   | Memory -> ()
   | Disk dir ->
-      if not (Sys.file_exists dir) then Sys.mkdir dir 0o755;
-      let oc = open_out_bin (path dir key) in
-      output_string oc payload;
-      close_out oc
+      mkdir_p dir;
+      let final = path dir key in
+      (* Write-to-temp then rename: readers only ever observe a complete
+         file (rename is atomic within a directory), and concurrent writers
+         of the same key each publish a complete value, last one wins. The
+         pid suffix keeps the temp names of racing writers distinct. *)
+      let tmp = Printf.sprintf "%s.tmp.%d" final (Unix.getpid ()) in
+      let oc = open_out_bin tmp in
+      (try
+         output_string oc (encode payload);
+         close_out oc
+       with e ->
+         close_out_noerr oc;
+         (try Sys.remove tmp with Sys_error _ -> ());
+         raise e);
+      Sys.rename tmp final
 
 let hits t = t.n_hits
 let misses t = t.n_misses

@@ -202,12 +202,16 @@ let deserialize payload : test_packet list =
     (fun (g, k, p, b) -> { tp_goal = g; tp_kind = k; tp_port = p; tp_bytes = b })
     tuples
 
-let cache_key (enc : Symexec.encoding) goals ~ports =
+let cache_key (enc : Symexec.encoding) goals ~ports ~index_offset =
   let buf = Buffer.create 4096 in
   (* Version tag: bump whenever the serialised payload layout changes, so
      stale on-disk payloads from older binaries can never be deserialised
      into the new shape. *)
-  Buffer.add_string buf "packetgen-v2;";
+  Buffer.add_string buf "packetgen-v3;";
+  (* The offset shifts the preferred-port cycle, so the same goal list
+     solved as a different slice of a larger campaign yields different
+     packets — it must be part of the key. *)
+  Buffer.add_string buf (Printf.sprintf "off:%d;" index_offset);
   Buffer.add_string buf (P4info.digest (P4info.of_program enc.enc_program));
   List.iter
     (fun (tp : Symexec.trace_point) ->
@@ -233,16 +237,28 @@ let cache_key (enc : Symexec.encoding) goals ~ports =
 
 (* --- generation -------------------------------------------------------------------- *)
 
-let generate ?(ports = [ 1; 2; 3; 4 ]) ?cache (enc : Symexec.encoding) goals =
+let generate ?(ports = [ 1; 2; 3; 4 ]) ?(index_offset = 0) ?cache (enc : Symexec.encoding)
+    goals =
   let tele = Telemetry.get () in
   Telemetry.with_span tele "symbolic.generate"
     ~attrs:[ ("goals", string_of_int (List.length goals)) ]
   @@ fun () ->
-  let key = cache_key enc goals ~ports in
+  let key = cache_key enc goals ~ports ~index_offset in
   let cached =
     match cache with
     | None -> None
-    | Some c -> Cache.find c ~key |> Option.map deserialize
+    | Some c -> (
+        match Cache.find c ~key with
+        | None -> None
+        | Some raw -> (
+            (* The cache layer already rejects torn files; this guards the
+               residual case of a well-framed payload whose Marshal bytes
+               are garbage. Falling through regenerates and overwrites. *)
+            match deserialize raw with
+            | packets -> Some packets
+            | exception _ ->
+                Telemetry.incr tele "cache.corrupt_dropped";
+                None))
   in
   match cached with
   | Some packets ->
@@ -271,7 +287,8 @@ let generate ?(ports = [ 1; 2; 3; 4 ]) ?cache (enc : Symexec.encoding) goals =
             (* Soft constraints, weakest-last: preferred outcome plus a
                cycled ingress port, then progressively relaxed. *)
             let preferred_port =
-              Term.eq port_term (Term.of_int ~width:16 (List.nth ports (i mod nports)))
+              Term.eq port_term
+                (Term.of_int ~width:16 (List.nth ports ((index_offset + i) mod nports)))
             in
             let attempts =
               [ [ goal.goal_cond; goal.goal_prefer; preferred_port ];

@@ -88,10 +88,20 @@ type result = {
 
 val generate :
   ?ports:int list ->
+  ?index_offset:int ->
   ?cache:Cache.t ->
   Symexec.encoding ->
   goal list ->
   result
-(** [ports] restricts the free ingress port (default [[1; 2; 3; 4]]). *)
+(** [ports] restricts the free ingress port (default [[1; 2; 3; 4]]).
 
-val cache_key : Symexec.encoding -> goal list -> ports:int list -> string
+    [index_offset] (default 0) is the position of [goals] within a larger
+    campaign-wide goal list: the preferred-port soft constraint cycles by
+    global goal index, so a sharded campaign that solves slice
+    [\[off, off+n)] passes [~index_offset:off] and gets exactly the
+    packets the unsliced campaign would produce for those goals {e modulo}
+    solver state (each call uses a fresh solver). The offset participates
+    in the cache key. *)
+
+val cache_key :
+  Symexec.encoding -> goal list -> ports:int list -> index_offset:int -> string

@@ -1,5 +1,26 @@
 type clock = unit -> float
 
+(* --- monotonic-ish wall clock ------------------------------------------------ *)
+
+(* [Unix.gettimeofday] is a wall clock: NTP steps (or an operator touching
+   the clock) can move it backwards mid-campaign, which used to surface as
+   negative durations in reports and bench JSON. The stdlib exposes no
+   monotonic clock without C stubs, so we settle for monotonic-ish: never
+   return a timestamp smaller than one already handed out. A forked worker
+   inherits the floor, which only tightens the guarantee. *)
+module Clock = struct
+  let last = ref neg_infinity
+
+  let now () =
+    let t = Unix.gettimeofday () in
+    if t > !last then last := t;
+    !last
+
+  let duration ~since =
+    let d = now () -. since in
+    if d > 0. then d else 0.
+end
+
 (* --- histograms ------------------------------------------------------------ *)
 
 (* Log-spaced latency buckets in seconds (1µs .. 10s); observations above
@@ -434,6 +455,68 @@ let pp_snapshot fmt snap =
       snap.snap_histograms
   end;
   Format.fprintf fmt "@]"
+
+(* --- export / absorb (fork merge) --------------------------------------------- *)
+
+type histogram_dump = {
+  hd_buckets : int array;
+  hd_count : int;
+  hd_sum : float;
+  hd_max : float;
+}
+
+type export = {
+  ex_counters : (string * int) list;
+  ex_histograms : (string * histogram_dump) list;
+}
+
+let export t =
+  let counters =
+    Hashtbl.fold (fun name r acc -> (name, !r) :: acc) t.counters []
+    |> List.sort (fun (a, _) (b, _) -> String.compare a b)
+  in
+  let histograms =
+    Hashtbl.fold
+      (fun name h acc ->
+        if h.h_count = 0 then acc
+        else
+          ( name,
+            { hd_buckets = Array.copy h.buckets;
+              hd_count = h.h_count;
+              hd_sum = h.h_sum;
+              hd_max = h.h_max } )
+          :: acc)
+      t.histograms []
+    |> List.sort (fun (a, _) (b, _) -> String.compare a b)
+  in
+  { ex_counters = counters; ex_histograms = histograms }
+
+let absorb t ex =
+  List.iter (fun (name, n) -> incr ~n t name) ex.ex_counters;
+  if t.on then
+    List.iter
+      (fun (name, d) ->
+        if d.hd_count > 0 then begin
+          let h =
+            match Hashtbl.find_opt t.histograms name with
+            | Some h -> h
+            | None ->
+                let h = make_histogram () in
+                Hashtbl.replace t.histograms name h;
+                h
+          in
+          (* Bucket layouts agree (both sides use [default_bounds]); the
+             [min] only guards against a future bounds change racing an
+             old worker. *)
+          let nb = min (Array.length h.buckets) (Array.length d.hd_buckets) in
+          for i = 0 to nb - 1 do
+            h.buckets.(i) <- h.buckets.(i) + d.hd_buckets.(i)
+          done;
+          h.h_count <- h.h_count + d.hd_count;
+          h.h_sum <- h.h_sum +. d.hd_sum;
+          if d.hd_max > h.h_max then h.h_max <- d.hd_max
+        end)
+      ex.ex_histograms
 
 let snapshot_to_json snap =
   Json.obj

@@ -25,6 +25,20 @@
 type clock = unit -> float
 (** Seconds, as an absolute wall-clock timestamp. Injectable for tests. *)
 
+(** Monotonic-ish time for campaign/CLI duration measurement.
+
+    [Unix.gettimeofday] can step backwards (NTP); every duration in a
+    report or bench artifact should come from this helper instead, which
+    never returns a timestamp smaller than one it already returned, and
+    clamps durations at zero. *)
+module Clock : sig
+  val now : unit -> float
+  (** Wall clock with a process-wide floor: never decreases. *)
+
+  val duration : since:float -> float
+  (** [duration ~since] = [max 0 (now () - since)]. *)
+end
+
 type t
 (** A registry of counters, histograms, and the active span stack. *)
 
@@ -129,6 +143,30 @@ val pp_snapshot : Format.formatter -> snapshot -> unit
 
 val snapshot_to_json : snapshot -> string
 (** One-line JSON object: [{"counters":{...},"histograms":{...}}]. *)
+
+(** {1 Export / absorb}
+
+    Raw (not summarized) registry contents, for merging measurements made
+    in a forked worker back into the parent's registry: the worker runs
+    under a fresh registry, so its export is a pure delta; the parent
+    [absorb]s counters additively and histograms bucket-wise. *)
+
+type histogram_dump = {
+  hd_buckets : int array;   (** same layout as the registry's buckets *)
+  hd_count : int;
+  hd_sum : float;
+  hd_max : float;
+}
+
+type export = {
+  ex_counters : (string * int) list;                 (** sorted by name *)
+  ex_histograms : (string * histogram_dump) list;    (** sorted by name; empty histograms omitted *)
+}
+
+val export : t -> export
+
+val absorb : t -> export -> unit
+(** Add the exported deltas into [t] (no-op when [t] is disabled). *)
 
 (** {1 JSON helpers}
 

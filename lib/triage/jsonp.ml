@@ -206,5 +206,6 @@ let to_int = function
       Some (int_of_float f)
   | _ -> None
 
+let to_num = function Num f -> Some f | _ -> None
 let to_bool = function Bool b -> Some b | _ -> None
 let to_arr = function Arr xs -> Some xs | _ -> None

@@ -30,5 +30,10 @@ val member : string -> t -> t option
 
 val to_str : t -> string option
 val to_int : t -> int option
+
+val to_num : t -> float option
+(** Any numeric value, as a float — use for durations and other
+    measurements where fractional values are expected. *)
+
 val to_bool : t -> bool option
 val to_arr : t -> t list option
