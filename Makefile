@@ -1,6 +1,6 @@
 # Convenience targets; everything is plain dune underneath.
 
-.PHONY: all build check test bench bench-quick micro examples lint-models replay-corpus check-parallel clean
+.PHONY: all build check test bench bench-quick micro examples lint-models replay-corpus check-parallel check-smt clean
 
 MODELS = middleblock tor wan cerberus figure2
 
@@ -18,6 +18,7 @@ check:
 	$(MAKE) lint-models
 	$(MAKE) replay-corpus
 	$(MAKE) check-parallel
+	$(MAKE) check-smt
 
 # Regression-corpus gate: every archived incident in the golden corpus must
 # still reproduce on a stack seeded with the fault it was captured under
@@ -44,6 +45,24 @@ check-parallel:
 	dune exec bin/switchv_cli.exe -- validate -m middleblock \
 	  --batches 4 --shards 4 --jobs 4 >/dev/null
 	rm -f /tmp/swv_par_1.jsonl /tmp/swv_par_4.jsonl
+
+# Incremental-SMT gate, two legs. (1) The property-based differential suite
+# at its fixed seed, then a 2-second randomized soak at a fresh seed (the
+# seed is printed on failure, so a soak hit is reproducible). (2) A seeded
+# faulty validation must archive a byte-identical regression corpus with
+# the incremental pipeline on and off — canonical witness models make the
+# two solving strategies indistinguishable in every output byte.
+check-smt:
+	dune exec test/test_smt_diff.exe -- -e
+	SWITCHV_QGEN_SEED=$$$$ SWITCHV_QGEN_SOAK_MS=2000 \
+	  dune exec test/test_smt_diff.exe -- -e soak
+	rm -f /tmp/swv_smt_inc.jsonl /tmp/swv_smt_scr.jsonl
+	! dune exec bin/switchv_cli.exe -- validate -m middleblock --fault PINS-019 \
+	  --batches 4 --save-corpus /tmp/swv_smt_inc.jsonl >/dev/null
+	! dune exec bin/switchv_cli.exe -- validate -m middleblock --fault PINS-019 \
+	  --batches 4 --no-incremental --save-corpus /tmp/swv_smt_scr.jsonl >/dev/null
+	cmp /tmp/swv_smt_inc.jsonl /tmp/swv_smt_scr.jsonl
+	rm -f /tmp/swv_smt_inc.jsonl /tmp/swv_smt_scr.jsonl
 
 # Static-analysis gate: every built-in role model and every example model
 # must carry zero error-severity findings (warnings/info are advisory and

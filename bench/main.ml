@@ -597,6 +597,118 @@ let ablations () =
   ablation_pruning ()
 
 (* ------------------------------------------------------------------ *)
+(* SMT: incremental solving vs. per-goal scratch solvers               *)
+(* ------------------------------------------------------------------ *)
+
+let smt_incremental_bench () =
+  banner "SMT: incremental packet generation vs. per-goal scratch solving";
+  Printf.printf
+    "Each fixture campaign's coverage goals are solved twice: once with the\n\
+     incremental pipeline (one solver, prefix push/pop scopes, assumption\n\
+     deltas, learned clauses carried across goals) and once re-bit-blasting\n\
+     every goal into a fresh solver. Canonical model extraction makes the\n\
+     verdicts AND packet bytes byte-identical; the win is solver work.\n\n";
+  let tm = Telemetry.get () in
+  let stat name stats = Option.value ~default:0 (List.assoc_opt name stats) in
+  let fixtures =
+    let entry_goals enc = Packetgen.entry_coverage_goals enc in
+    let explore enc =
+      Packetgen.entry_coverage_goals enc @ Data_campaign.exploratory_goals enc
+    in
+    let trace enc =
+      Packetgen.trace_coverage_goals enc
+        ~tables:[ "ipv4_table"; "acl_ingress_table" ]
+    in
+    [ ("middleblock/entry", Middleblock.program,
+       Workload.scaled (if !quick then 0.05 else 0.25) Workload.inst1, entry_goals);
+      ("middleblock/explore", Middleblock.program,
+       Workload.scaled (if !quick then 0.05 else 0.1) Workload.inst1, explore);
+      ("middleblock/trace", Middleblock.program, Workload.small, trace);
+      ("wan/entry", Wan.program,
+       Workload.scaled (if !quick then 0.05 else 0.1) Workload.inst2, entry_goals) ]
+  in
+  Printf.printf "%-22s %6s | %10s %9s | %10s %9s | %7s %5s\n" "fixture" "goals"
+    "scr.confl" "scr.time" "inc.confl" "inc.time" "fewer" "same";
+  Printf.printf "%s\n" (String.make 92 '-');
+  let rows =
+    List.map
+      (fun (name, program, profile, mk_goals) ->
+        let entries = Workload.generate ~seed:42 program profile in
+        let enc = Symexec.encode program entries in
+        let goals = mk_goals enc in
+        let run incremental =
+          let t0 = now () in
+          let r = Packetgen.generate ~incremental enc goals in
+          (r, now () -. t0)
+        in
+        let scratch, t_scr = run false in
+        let hits0 = Telemetry.counter tm "smt.incremental_hits" in
+        let reused0 = Telemetry.counter tm "smt.clauses_reused" in
+        let inc, t_inc = run true in
+        let hits = Telemetry.counter tm "smt.incremental_hits" - hits0 in
+        let reused = Telemetry.counter tm "smt.clauses_reused" - reused0 in
+        let identical =
+          List.length scratch.Packetgen.packets = List.length inc.Packetgen.packets
+          && List.for_all2
+               (fun (a : Packetgen.test_packet) (b : Packetgen.test_packet) ->
+                 a.tp_goal = b.tp_goal && a.tp_port = b.tp_port
+                 && a.tp_bytes = b.tp_bytes)
+               scratch.Packetgen.packets inc.Packetgen.packets
+        in
+        let c_scr = stat "conflicts" scratch.Packetgen.solver_stats in
+        let c_inc = stat "conflicts" inc.Packetgen.solver_stats in
+        let fewer =
+          if c_scr = 0 then 0.
+          else 100. *. float_of_int (c_scr - c_inc) /. float_of_int c_scr
+        in
+        Printf.printf "%-22s %6d | %10d %8.2fs | %10d %8.2fs | %6.1f%% %5b\n%!"
+          name (List.length goals) c_scr t_scr c_inc t_inc fewer identical;
+        (name, List.length goals, c_scr, c_inc, t_scr, t_inc, identical, hits,
+         reused))
+      fixtures
+  in
+  let tot f = List.fold_left (fun a r -> a + f r) 0 rows in
+  let c_scr = tot (fun (_, _, c, _, _, _, _, _, _) -> c) in
+  let c_inc = tot (fun (_, _, _, c, _, _, _, _, _) -> c) in
+  let all_identical =
+    List.for_all (fun (_, _, _, _, _, _, id, _, _) -> id) rows
+  in
+  let reduction =
+    if c_scr = 0 then 0.
+    else 100. *. float_of_int (c_scr - c_inc) /. float_of_int c_scr
+  in
+  Printf.printf "%s\n" (String.make 92 '-');
+  Printf.printf
+    "total conflicts: scratch %d, incremental %d (%.1f%% fewer; target >= 30%%)\n\
+     identical packets on every fixture: %b\n"
+    c_scr c_inc reduction all_identical;
+  (* Snapshot for trend tracking; committed as BENCH_smt_incremental.json. *)
+  let json =
+    let row (name, goals, cs, ci, ts, ti, id, hits, reused) =
+      Printf.sprintf
+        "    {\"fixture\": %S, \"goals\": %d, \"scratch_conflicts\": %d, \
+         \"incremental_conflicts\": %d, \"scratch_time_s\": %.3f, \
+         \"incremental_time_s\": %.3f, \"identical_packets\": %b, \
+         \"incremental_hits\": %d, \"clauses_reused\": %d}"
+        name goals cs ci ts ti id hits reused
+    in
+    Printf.sprintf
+      "{\n  \"artifact\": \"smt_incremental\",\n  \"fixtures\": [\n%s\n  ],\n  \
+       \"total_scratch_conflicts\": %d,\n  \"total_incremental_conflicts\": %d,\n  \
+       \"conflict_reduction_pct\": %.1f,\n  \"identical_packets\": %b\n}\n"
+      (String.concat ",\n" (List.map row rows))
+      c_scr c_inc reduction all_identical
+  in
+  let oc = open_out "BENCH_smt_incremental.json" in
+  output_string oc json;
+  close_out oc;
+  Printf.printf "wrote BENCH_smt_incremental.json\n";
+  if not all_identical then failwith "incremental/scratch packet mismatch";
+  if not !quick && reduction < 30. then
+    failwith
+      (Printf.sprintf "conflict reduction %.1f%% below the 30%% target" reduction)
+
+(* ------------------------------------------------------------------ *)
 (* Triage: ddmin shrinkage and fingerprint dedup                       *)
 (* ------------------------------------------------------------------ *)
 
@@ -789,7 +901,8 @@ let () =
   quick := List.mem "quick" args;
   let args = List.filter (fun a -> a <> "quick") args in
   let all =
-    [ "table1"; "table2"; "table3"; "figure7"; "ablations"; "triage"; "parallel" ]
+    [ "table1"; "table2"; "table3"; "figure7"; "ablations"; "triage"; "parallel";
+      "smt_incremental" ]
   in
   let selected = if args = [] then all else args in
   let t0 = now () in
@@ -807,12 +920,14 @@ let () =
       | "ablations" -> ablations ()
       | "triage" -> triage_bench ()
       | "parallel" -> parallel_bench ()
+      | "smt_incremental" -> smt_incremental_bench ()
       | "micro" -> micro ()
       | other ->
           known := false;
           Printf.printf
             "unknown artifact %S (use \
-             table1|table2|table3|figure7|ablations|triage|parallel|micro|quick)\n"
+             table1|table2|table3|figure7|ablations|triage|parallel|\
+             smt_incremental|micro|quick)\n"
             other);
       if !known then
         Printf.printf "\ntelemetry %s %s\n" artifact

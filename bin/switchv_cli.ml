@@ -168,9 +168,19 @@ let shards_arg =
   in
   Arg.(value & opt int 1 & info [ "shards" ] ~docv:"K" ~doc)
 
+let no_incremental_arg =
+  let doc =
+    "Solve every coverage goal in a fresh SMT solver instead of the \
+     incremental pipeline (shared clause database, push/pop scopes, \
+     assumption deltas). Packets and verdicts are identical either way — \
+     this knob only trades solver work, and exists so the equivalence is \
+     checkable from the shell (see $(b,make check-smt))."
+  in
+  Arg.(value & flag & info [ "no-incremental" ] ~doc)
+
 let validate_cmd =
   let run program seed scale fault_ids batches cache_dir trace_file corpus_file
-      minimize jobs shards =
+      minimize jobs shards no_incremental =
     let entries = workload program scale seed in
     let faults = resolve_faults program entries fault_ids in
     let mk () = Stack.create ~faults program in
@@ -180,7 +190,8 @@ let validate_cmd =
         cache = Option.map Cache.on_disk cache_dir;
         triage = Some { Harness.default_triage with minimize };
         jobs;
-        data_shards = shards }
+        data_shards = shards;
+        incremental = not no_incremental }
     in
     let report = with_trace trace_file (fun () -> Harness.validate mk config) in
     Format.printf "%a@." Report.pp report;
@@ -211,12 +222,13 @@ let validate_cmd =
     (Cmd.info "validate" ~doc)
     Term.(
       term_result' ~usage:false
-        (const (fun p s sc f b c t cf mz j sh ->
-             match run p s sc f b c t cf mz j sh with
+        (const (fun p s sc f b c t cf mz j sh ni ->
+             match run p s sc f b c t cf mz j sh ni with
              | Ok () -> Ok ()
              | Error (_, m) -> Error m)
         $ model_arg $ seed_arg $ scale_arg $ faults_arg $ batches_arg $ cache_dir_arg
-        $ trace_file_arg $ save_corpus_arg $ minimize_arg $ jobs_arg $ shards_arg))
+        $ trace_file_arg $ save_corpus_arg $ minimize_arg $ jobs_arg $ shards_arg
+        $ no_incremental_arg))
 
 (* --- replay ---------------------------------------------------------------- *)
 
@@ -304,7 +316,8 @@ let fuzz_cmd =
 (* --- genpackets ---------------------------------------------------------------- *)
 
 let genpackets_cmd =
-  let run program seed scale cache_dir verbose trace_tables no_prune =
+  let run program seed scale cache_dir verbose trace_tables no_prune
+      no_incremental =
     let entries = workload program scale seed in
     let t0 = Telemetry.Clock.now () in
     let encoding = Symexec.encode program entries in
@@ -321,7 +334,9 @@ let genpackets_cmd =
           goals
     in
     let cache = Option.map Cache.on_disk cache_dir in
-    let result = Packetgen.generate ?cache encoding goals in
+    let result =
+      Packetgen.generate ?cache ~incremental:(not no_incremental) encoding goals
+    in
     Printf.printf "%d entries, %d goals: %d covered, %d uncoverable in %.2fs%s\n"
       (List.length entries) (List.length goals) result.covered result.uncoverable
       (Telemetry.Clock.duration ~since:t0)
@@ -361,7 +376,7 @@ let genpackets_cmd =
     (Cmd.info "genpackets" ~doc)
     Term.(
       const run $ model_arg $ seed_arg $ scale_arg $ cache_dir_arg $ verbose
-      $ trace_tables $ no_prune)
+      $ trace_tables $ no_prune $ no_incremental_arg)
 
 (* --- lint ------------------------------------------------------------------------ *)
 

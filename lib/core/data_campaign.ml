@@ -26,12 +26,14 @@ type config = {
   max_incidents : int;
   test_packet_io : bool;
   shards : int;
+  incremental : bool;
 }
 
 let default_config entries =
   { entries; ports = [ 1; 2; 3; 4 ]; extra_goals = (fun _ -> []);
     include_branch_goals = true; prune_dead_goals = true;
-    cache = None; max_incidents = 25; test_packet_io = true; shards = 1 }
+    cache = None; max_incidents = 25; test_packet_io = true; shards = 1;
+    incremental = true }
 
 let exploratory_goals (enc : Symexec.encoding) =
   let ether_type = Term.var (Symexec.field_var ~header:"ethernet" ~field:"ether_type") 16 in
@@ -184,7 +186,7 @@ let run_slice stack config ~model_cfg ~encoding ~base_incidents (offset, goals) 
   let generated =
     Telemetry.with_span tele "campaign.generation" (fun () ->
         Packetgen.generate ~ports:config.ports ~index_offset:offset
-          ?cache:config.cache encoding goals)
+          ?cache:config.cache ~incremental:config.incremental encoding goals)
   in
   let sl_gen_s = Telemetry.Clock.duration ~since:gen_start in
   let test_start = Telemetry.Clock.now () in

@@ -34,6 +34,11 @@ type config = {
           slicing is a function of the goal list alone, so results at a
           given shard count are identical at any [jobs] count; shards
           share the on-disk packet cache. *)
+  incremental : bool;
+      (** Use the incremental SMT pipeline for packet generation (on by
+          default). Canonical model extraction makes the generated packets
+          identical either way — see {!Packetgen.generate} — so this knob
+          only trades solver work, never results. *)
 }
 
 val default_config : Entry.t list -> config

@@ -26,6 +26,7 @@ type config = {
   triage : triage option;
   jobs : int;
   data_shards : int;
+  incremental : bool;
 }
 
 (* Entries readable from a switch come back in insertion order of the
@@ -71,7 +72,8 @@ let default_config entries =
     max_incidents = 25;
     triage = Some default_triage;
     jobs = 1;
-    data_shards = 1 }
+    data_shards = 1;
+    incremental = true }
 
 (* Shrink a reproducer to a 1-minimal input: each ddmin probe replays a
    candidate against a freshly provisioned stack. Sound because a clean
@@ -189,6 +191,7 @@ let validate mk_stack config =
       cache = config.cache;
       max_incidents = config.max_incidents;
       shards = config.data_shards;
+      incremental = config.incremental;
       extra_goals =
         (if config.exploratory then Data_campaign.exploratory_goals else fun _ -> []) }
   in
@@ -202,7 +205,8 @@ let validate mk_stack config =
       let cfg =
         { (Data_campaign.default_config fuzzed_entries) with
           max_incidents = config.max_incidents;
-          test_packet_io = false }
+          test_packet_io = false;
+          incremental = config.incremental }
       in
       let incidents, _ = Data_campaign.run stack cfg in
       List.map

@@ -49,6 +49,10 @@ type config = {
   data_shards : int;
       (** Coverage-goal slices for the data campaign (see
           {!Data_campaign.config}[.shards]). *)
+  incremental : bool;
+      (** Incremental SMT pipeline for packet generation (on by default;
+          see {!Data_campaign.config}[.incremental]). Results are
+          identical either way. *)
 }
 
 val default_config : Entry.t list -> config

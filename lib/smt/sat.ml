@@ -399,15 +399,68 @@ let rec luby i =
   else luby (i - (1 lsl (!k - 1)) + 1)
 
 type result = Sat | Unsat
+type assumption_result = A_sat | A_unsat of Lit.t list
 
 exception Unsat_exn
 exception Restart
 
-let solve ?(assumptions = []) t =
-  if not t.ok then Unsat
+(* MiniSat's analyzeFinal: [p] is an assumption literal found falsified at
+   its decision point. Walk the trail above level 0 backwards from the
+   (already enqueued) implication of [~p], expanding propagation reasons and
+   collecting the decision literals reached — under assumption solving every
+   decision at those levels is itself an assumption — into the unsat core.
+   Literals implied at level 0 do not depend on assumptions and are skipped.
+   Must run before [cancel_until]: it reads the live trail. *)
+let analyze_final t p =
+  let core = ref [ p ] in
+  if decision_level t > 0 then begin
+    let seen = t.seen in
+    seen.(Lit.var p) <- true;
+    let bound = Vec.get t.trail_lim 0 in
+    for i = Vec.size t.trail - 1 downto bound do
+      let l = Vec.get t.trail i in
+      let v = Lit.var l in
+      if seen.(v) then begin
+        (match t.reason.(v) with
+        | None ->
+            (* A decision above level 0: an assumption literal (possibly the
+               negation of [p] itself when assumptions directly conflict). *)
+            if l <> p then core := l :: !core
+        | Some c ->
+            Array.iter
+              (fun q ->
+                if t.level.(Lit.var q) > 0 then seen.(Lit.var q) <- true)
+              c.lits);
+        seen.(v) <- false
+      end
+    done;
+    seen.(Lit.var p) <- false
+  end;
+  !core
+
+(* Find the first literal in [order] whose variable is still unassigned.
+   Decisions taken from [order] always use the literal's own polarity (no
+   saved-phase override): together with the fixed scan order this makes the
+   model found a pure function of the clause set's meaning — the
+   lexicographically preferred model w.r.t. [order] — independent of learned
+   clauses, VSIDS state, and restart timing. *)
+let pick_ordered t order =
+  let n = Array.length order in
+  let rec go i =
+    if i >= n then None
+    else
+      let l = order.(i) in
+      if t.assigns.(Lit.var l) < 0 then Some l else go (i + 1)
+  in
+  go 0
+
+let solve_with_assumptions ?order t assumptions =
+  if not t.ok then A_unsat []
   else begin
     cancel_until t 0;
     let assumptions = Array.of_list (assumptions :> int list) in
+    let order = match order with None -> [||] | Some o -> (o : Lit.t array) in
+    let core = ref [] in
     try
       (match propagate t with
       | Some _ -> t.ok <- false; raise Unsat_exn
@@ -444,40 +497,57 @@ let solve ?(assumptions = []) t =
                    raise Restart
                  end
              | None ->
-                 (* Decide next: assumptions first, then VSIDS. *)
+                 (* Decide next: assumptions first, then the canonical order
+                    if given, then VSIDS. *)
                  if decision_level t < Array.length assumptions then begin
                    let p = assumptions.(decision_level t) in
                    match lit_value t p with
                    | 1 -> new_decision_level t
-                   | 0 -> raise Unsat_exn  (* conflicts with assumptions *)
+                   | 0 ->
+                       (* Conflicts with the assumptions: report which. *)
+                       core := analyze_final t p;
+                       raise Unsat_exn
                    | _ ->
                        t.n_decisions <- t.n_decisions + 1;
                        new_decision_level t;
                        enqueue t p None
                  end
                  else begin
-                   match pick_branch_var t with
-                   | None -> raise Exit (* all assigned: SAT *)
-                   | Some v ->
+                   match pick_ordered t order with
+                   | Some l ->
                        t.n_decisions <- t.n_decisions + 1;
                        new_decision_level t;
-                       enqueue t (Lit.make v t.phase.(v)) None
+                       enqueue t l None
+                   | None -> (
+                       match pick_branch_var t with
+                       | None -> raise Exit (* all assigned: SAT *)
+                       | Some v ->
+                           t.n_decisions <- t.n_decisions + 1;
+                           new_decision_level t;
+                           enqueue t (Lit.make v t.phase.(v)) None)
                  end
            done
          with Restart -> ());
         search_forever ()
       in
       (try search_forever () with Exit -> ());
-      Sat
+      A_sat
     with Unsat_exn ->
       cancel_until t 0;
       (* Distinguish global unsat from assumption-relative unsat: if [ok]
-         was cleared, the instance is globally unsat; otherwise only the
-         assumptions failed and the solver stays usable. *)
-      Unsat
+         was cleared, the instance is globally unsat (empty core); otherwise
+         only the assumptions failed and the solver stays usable. *)
+      A_unsat !core
   end
 
+let solve ?(assumptions = []) t =
+  match solve_with_assumptions t assumptions with
+  | A_sat -> Sat
+  | A_unsat _ -> Unsat
+
 let value t v = if t.assigns.(v) >= 0 then t.assigns.(v) = 1 else t.phase.(v)
+let num_learned t = t.n_learned
+let cancel_to_root t = cancel_until t 0
 
 let stats t =
   [ ("conflicts", t.n_conflicts);

@@ -8,6 +8,17 @@ module Phys = Hashtbl.Make (struct
   let hash = Hashtbl.hash
 end)
 
+(* A push scope: formulas asserted while the scope is active are guarded by
+   its selector literal (clause [~sel \/ lit]), and every [check] assumes the
+   selectors of all active scopes. [pop] retires the scope by asserting the
+   unit [~sel], which permanently satisfies the guarded clauses — and any
+   clauses learned from them, since those must mention [~sel] too. The
+   Tseitin environment (variable maps, structural memos, gate table) is
+   never rolled back: shared subterms bit-blast exactly once for the life of
+   the solver. [originals] keeps the pre-preprocessing source formulas for
+   the self-check mode. *)
+type scope = { sel : Lit.t; mutable originals : Term.boolean list }
+
 type t = {
   sat : Sat.t;
   true_lit : Lit.t;
@@ -17,7 +28,13 @@ type t = {
   bool_memo : Lit.t Phys.t;
   gate_memo : (string * int * int * int, Lit.t) Hashtbl.t;
   mutable n_gates : int;
+  mutable scopes : scope list;           (* innermost first *)
+  mutable root_originals : Term.boolean list;
 }
+
+let check_models = ref false
+
+exception Model_mismatch of string
 
 let create () =
   let sat = Sat.create () in
@@ -30,7 +47,9 @@ let create () =
     bv_memo = Phys.create 1024;
     bool_memo = Phys.create 1024;
     gate_memo = Hashtbl.create 4096;
-    n_gates = 0 }
+    n_gates = 0;
+    scopes = [];
+    root_originals = [] }
 
 let lit_true t = t.true_lit
 let lit_false t = Lit.neg t.true_lit
@@ -248,9 +267,38 @@ and blast_bool t (term : Term.boolean) : Lit.t =
           Phys.add t.bool_memo key l;
           l)
 
+let preprocess_counted formula =
+  let pre, eliminated = Term.preprocess formula in
+  if eliminated > 0 then begin
+    let tele = Telemetry.get () in
+    Telemetry.incr ~n:eliminated tele "smt.preprocess_eliminated"
+  end;
+  pre
+
 let assert_formula t formula =
-  let l = blast_bool t formula in
-  Sat.add_clause t.sat [ l ]
+  Sat.cancel_to_root t.sat;
+  let l = blast_bool t (preprocess_counted formula) in
+  match t.scopes with
+  | [] ->
+      Sat.add_clause t.sat [ l ];
+      t.root_originals <- formula :: t.root_originals
+  | scope :: _ ->
+      Sat.add_clause t.sat [ Lit.neg scope.sel; l ];
+      scope.originals <- formula :: scope.originals
+
+let push t =
+  Sat.cancel_to_root t.sat;
+  t.scopes <- { sel = fresh t; originals = [] } :: t.scopes
+
+let pop t =
+  match t.scopes with
+  | [] -> invalid_arg "Solver.pop: no open scope"
+  | scope :: rest ->
+      Sat.cancel_to_root t.sat;
+      Sat.add_clause t.sat [ Lit.neg scope.sel ];
+      t.scopes <- rest
+
+let scope_depth t = List.length t.scopes
 
 type model = {
   bv : string -> Bitvec.t option;
@@ -294,20 +342,123 @@ let publish_effort before after =
         | None -> ())
       after
 
-let check ?(assumptions = []) t =
+type verdict = V_sat of model | V_unsat of int list
+
+type canonical_var = C_bool of string | C_bv of string
+
+(* Decision order realizing the lexicographically minimal model over the
+   named variables: booleans prefer false, bitvectors prefer 0 with the most
+   significant bit decided first. Names the solver has never blasted are
+   skipped — such variables are unconstrained and read back as absent, which
+   extraction treats as zero, so the skip agrees with the preference. *)
+let canonical_order t canonical =
+  let lits = ref [] in
+  List.iter
+    (fun c ->
+      match c with
+      | C_bool name -> (
+          match Hashtbl.find_opt t.bool_vars name with
+          | Some l -> lits := Lit.neg l :: !lits
+          | None -> ())
+      | C_bv name -> (
+          match Hashtbl.find_opt t.bv_vars name with
+          | Some arr ->
+              (* Bit 0 is the least significant: deciding high bits first
+                 makes "lexicographically minimal" numerically minimal. *)
+              for i = Array.length arr - 1 downto 0 do
+                lits := Lit.neg arr.(i) :: !lits
+              done
+          | None -> ()))
+    canonical;
+  Array.of_list (List.rev !lits)
+
+(* Evaluate an original (pre-preprocessing) formula under a model, reading
+   absent variables as zero/false — the same completion extraction uses. *)
+let eval_original model formula =
+  let widths = Hashtbl.create 16 in
+  List.iter (fun (name, w) -> Hashtbl.replace widths name w) (Term.bv_vars formula);
+  let env =
+    { Term.bv_of =
+        (fun name ->
+          match model.bv name with
+          | Some v -> v
+          | None -> Bitvec.zero (try Hashtbl.find widths name with Not_found -> 1));
+      bool_of = (fun name -> match model.bool name with Some b -> b | None -> false) }
+  in
+  Term.eval_bool env formula
+
+let self_check t model assumptions =
+  let check_one what formula =
+    if not (eval_original model formula) then
+      raise
+        (Model_mismatch
+           (Format.asprintf "%s not satisfied by returned model: %a" what
+              Term.pp_bool formula))
+  in
+  List.iter (check_one "asserted formula") t.root_originals;
+  List.iter
+    (fun scope -> List.iter (check_one "scoped formula") scope.originals)
+    t.scopes;
+  List.iter (check_one "assumption") assumptions
+
+let check_verdict ?(assumptions = []) ?canonical t =
   let tele = Telemetry.get () in
   Telemetry.with_span tele "smt.check" (fun () ->
-      let assumption_lits = List.map (blast_bool t) assumptions in
+      Sat.cancel_to_root t.sat;
+      Telemetry.incr ~n:(Sat.num_learned t.sat) tele "smt.clauses_reused";
+      let vars_before = Sat.num_vars t.sat in
+      (* Assumptions are blasted as-is, without the preprocessing pass:
+         the Tseitin environment memoizes by physical identity, so a
+         conjunct already seen by an earlier check (or by an asserted
+         formula) costs a hash lookup here, while preprocessing would
+         re-walk its whole DAG on every query. Folding only ever pays
+         off on the big asserted formulas. *)
+      let assumption_lits = List.map (fun a -> blast_bool t a) assumptions in
+      if Sat.num_vars t.sat = vars_before then
+        Telemetry.incr tele "smt.incremental_hits";
+      let selector_lits = List.rev_map (fun s -> s.sel) t.scopes in
+      let sat_assumptions = List.rev_append selector_lits assumption_lits in
       let before = Sat.stats t.sat in
       let result =
-        match Sat.solve ~assumptions:assumption_lits t.sat with
-        | Sat.Sat -> Sat (extract_model t)
-        | Sat.Unsat -> Unsat
+        match Sat.solve_with_assumptions t.sat sat_assumptions with
+        | Sat.A_sat ->
+            (match canonical with
+            | None -> ()
+            | Some canonical ->
+                let order = canonical_order t canonical in
+                (match
+                   Sat.solve_with_assumptions ~order t.sat sat_assumptions
+                 with
+                | Sat.A_sat -> ()
+                | Sat.A_unsat _ ->
+                    (* The same assumptions just solved SAT. *)
+                    assert false));
+            let model = extract_model t in
+            if !check_models then self_check t model assumptions;
+            V_sat model
+        | Sat.A_unsat core ->
+            (* Report which of the caller's assumptions were implicated;
+               scope selectors are part of the asserted state, not of the
+               query, so they are filtered out. An empty list means the
+               asserted state alone (or the clause database) is unsat. *)
+            let core_indices =
+              List.mapi (fun i l -> (i, l)) assumption_lits
+              |> List.filter_map (fun (i, l) ->
+                     if List.memq l core then Some i else None)
+            in
+            V_unsat core_indices
       in
       publish_effort before (Sat.stats t.sat);
       Telemetry.incr tele "smt.checks";
-      Telemetry.incr tele (match result with Sat _ -> "smt.sat" | Unsat -> "smt.unsat");
+      Telemetry.incr tele
+        (match result with V_sat _ -> "smt.sat" | V_unsat _ -> "smt.unsat");
       result)
 
+let check ?(assumptions = []) ?canonical t =
+  match check_verdict ~assumptions ?canonical t with
+  | V_sat model -> Sat model
+  | V_unsat _ -> Unsat
+
 let stats t =
-  ("gates", t.n_gates) :: ("sat_vars", Sat.num_vars t.sat) :: Sat.stats t.sat
+  ("gates", t.n_gates) :: ("sat_vars", Sat.num_vars t.sat)
+  :: ("scopes", List.length t.scopes) :: Sat.stats t.sat

@@ -13,7 +13,22 @@ type t
 val create : unit -> t
 
 val assert_formula : t -> Term.boolean -> unit
-(** Permanently constrain the instance. *)
+(** Constrain the instance. Formulas are preprocessed ({!Term.preprocess})
+    before bit-blasting. Inside a {!push} scope the constraint lives until
+    the matching {!pop}; at the root it is permanent. *)
+
+val push : t -> unit
+(** Open a scope. Formulas asserted until the matching [pop] are guarded by
+    a fresh selector literal and retractable. The Tseitin environment is
+    persistent across scopes: subterms shared with anything blasted earlier
+    are not re-blasted. *)
+
+val pop : t -> unit
+(** Close the innermost scope, retracting its assertions (and disabling the
+    clauses learned from them). Raises [Invalid_argument] when no scope is
+    open. *)
+
+val scope_depth : t -> int
 
 type model = {
   bv : string -> Bitvec.t option;   (** value of a bitvector variable *)
@@ -22,11 +37,51 @@ type model = {
 
 type result = Sat of model | Unsat
 
-val check : ?assumptions:Term.boolean list -> t -> result
+type verdict =
+  | V_sat of model
+  | V_unsat of int list
+      (** Positions (0-based) into the [assumptions] list implicated by
+          final-conflict analysis: the conjunction of the asserted state
+          with just those assumptions is already unsatisfiable. Not
+          guaranteed minimal. Empty when the asserted state alone is
+          unsatisfiable — every superset of assumptions is then unsat
+          too. *)
+
+type canonical_var =
+  | C_bool of string
+  | C_bv of string
+      (** A variable position in the canonical model order; see [check]. *)
+
+val check :
+  ?assumptions:Term.boolean list -> ?canonical:canonical_var list -> t -> result
 (** Satisfiability of asserted formulas plus the given assumptions. On
     [Sat], the model covers every variable that appears in asserted or
     assumed formulas; variables the SAT core left unconstrained get
-    arbitrary (but fixed) values. *)
+    arbitrary (but fixed) values.
+
+    With [canonical], a [Sat] answer additionally canonicalizes the model:
+    the named variables take the lexicographically minimal values (booleans
+    false-first, bitvectors numerically minimal, earlier list positions
+    outrank later ones) among all models of the current constraints. The
+    canonical model depends only on the {e meaning} of the constraints —
+    not on learned clauses, heuristic state, or how the constraints were
+    split into assertions and assumptions — which is what makes incremental
+    and from-scratch solving produce identical witnesses. *)
+
+val check_verdict :
+  ?assumptions:Term.boolean list -> ?canonical:canonical_var list -> t -> verdict
+(** Like [check], but an unsat answer reports the assumption subset that
+    failed, enabling callers to skip queries whose assumption set contains
+    a known-unsat core. *)
+
+val check_models : bool ref
+(** Self-check mode (off by default; tests switch it on): every model
+    returned by [check]/[check_verdict] is re-evaluated against the
+    original, pre-preprocessing asserted and assumed formulas, and a
+    mismatch raises {!Model_mismatch} — preprocessing or blasting bugs fail
+    loudly instead of corrupting generated packets. *)
+
+exception Model_mismatch of string
 
 val stats : t -> (string * int) list
 (** SAT-core statistics plus CNF size counters. *)

@@ -237,8 +237,114 @@ let cache_key (enc : Symexec.encoding) goals ~ports ~index_offset =
 
 (* --- generation -------------------------------------------------------------------- *)
 
-let generate ?(ports = [ 1; 2; 3; 4 ]) ?(index_offset = 0) ?cache (enc : Symexec.encoding)
-    goals =
+(* Canonical model order: both the incremental and the scratch pipeline
+   extract the lexicographically minimal witness over the program's input
+   variables, so the packet a goal yields is a pure function of the
+   encoding and the goal — not of solver state, goal grouping, or what was
+   learned from earlier goals. That invariant is what keeps cached, sharded
+   (--jobs N), and incremental-vs-scratch campaigns byte-identical. *)
+let canonical_vars (enc : Symexec.encoding) =
+  List.map
+    (function
+      | `Bool name -> Solver.C_bool name
+      | `Bv (name, _) -> Solver.C_bv name)
+    (Symexec.model_input_vars enc.enc_program)
+
+let assert_base solver (enc : Symexec.encoding) ports =
+  Solver.assert_formula solver enc.enc_wellformed;
+  let port_constraint =
+    Term.disj
+      (List.map
+         (fun p ->
+           Term.eq (Term.var Symexec.ingress_port_var 16) (Term.of_int ~width:16 p))
+         ports)
+  in
+  Solver.assert_formula solver port_constraint
+
+(* Solve one goal's soft-constraint cascade, weakest-last: the goal
+   condition plus the preferred outcome plus a cycled ingress port, then
+   progressively relaxed. [cond_conjuncts] are always assumed; [prefer] and
+   [pport] are the soft extras. Unsat cores prune the cascade: an attempt
+   whose assumption set contains a core reported by an earlier attempt is
+   unsat without solving — and because only provably-unsat attempts are
+   skipped, the first satisfiable attempt (and hence the canonical witness)
+   is the same whether or not any skipping happened. *)
+let solve_cascade solver ~canonical ~cond_conjuncts ~prefer ~pport =
+  let tele = Telemetry.get () in
+  let n = List.length cond_conjuncts in
+  (* Universe ids: conjunct i -> i, prefer -> n, pport -> n + 1. *)
+  let attempts =
+    [ (cond_conjuncts @ [ prefer; pport ], [ n; n + 1 ]);
+      (cond_conjuncts @ [ prefer ], [ n ]);
+      (cond_conjuncts @ [ pport ], [ n + 1 ]);
+      (cond_conjuncts, []) ]
+  in
+  let known_cores = ref [] in
+  let rec go = function
+    | [] -> None
+    | (assumptions, extra_ids) :: rest ->
+        let ids = List.init n (fun i -> i) @ extra_ids in
+        let covered_by core = List.for_all (fun c -> List.mem c ids) core in
+        if List.exists covered_by !known_cores then begin
+          Telemetry.incr tele "symbolic.attempts_skipped";
+          go rest
+        end
+        else begin
+          match Solver.check_verdict ~assumptions ~canonical solver with
+          | Solver.V_sat model -> Some model
+          | Solver.V_unsat core_positions ->
+              (* Map positions in this attempt's assumption list back to
+                 universe ids. *)
+              let core =
+                List.map
+                  (fun p -> if p < n then p else List.nth extra_ids (p - n))
+                  core_positions
+              in
+              known_cores := core :: !known_cores;
+              go rest
+        end
+  in
+  go attempts
+
+(* Group consecutive goals sharing a common prefix of top-level conjuncts
+   (physical equality — symexec builds all guards of one table onto the
+   same shared context/mismatch chain). Consecutive-only grouping preserves
+   goal order, which [prune_goals] and the --jobs shard slicer rely on.
+   Each group's prefix is asserted once inside a push scope; members then
+   differ only in their assumption suffix. *)
+type 'a group = { gr_prefix : Term.boolean list; gr_members : 'a list }
+
+let common_prefix xs ys =
+  let rec go acc = function
+    | x :: xs, y :: ys when x == y -> go (x :: acc) (xs, ys)
+    | _ -> List.rev acc
+  in
+  go [] (xs, ys)
+
+let group_goals goals =
+  let close (prefix, members) = { gr_prefix = prefix; gr_members = List.rev members } in
+  let rec go groups current = function
+    | [] -> List.rev (match current with None -> groups | Some c -> close c :: groups)
+    | ((_, _, conjuncts) as item) :: rest -> (
+        match current with
+        | None -> go groups (Some (conjuncts, [ item ])) rest
+        | Some (prefix, members) -> (
+            match common_prefix prefix conjuncts with
+            | [] -> go (close (prefix, members) :: groups) (Some (conjuncts, [ item ])) rest
+            | lcp -> go groups (Some (lcp, item :: members)) rest))
+  in
+  go [] None goals
+
+let sum_stats acc stats =
+  List.fold_left
+    (fun acc (name, v) ->
+      match List.assoc_opt name acc with
+      | Some v0 -> (name, v0 + v) :: List.remove_assoc name acc
+      | None -> acc @ [ (name, v) ])
+    acc stats
+
+let generate ?(ports = [ 1; 2; 3; 4 ]) ?(index_offset = 0) ?cache ?(incremental = true)
+    (enc : Symexec.encoding) goals =
   let tele = Telemetry.get () in
   Telemetry.with_span tele "symbolic.generate"
     ~attrs:[ ("goals", string_of_int (List.length goals)) ]
@@ -269,59 +375,117 @@ let generate ?(ports = [ 1; 2; 3; 4 ]) ?(index_offset = 0) ?cache (enc : Symexec
         solver_stats = [];
         from_cache = true }
   | None ->
-      let solver = Solver.create () in
-      Solver.assert_formula solver enc.enc_wellformed;
-      let port_constraint =
-        Term.disj
-          (List.map
-             (fun p ->
-               Term.eq (Term.var Symexec.ingress_port_var 16) (Term.of_int ~width:16 p))
-             ports)
-      in
-      Solver.assert_formula solver port_constraint;
+      let canonical = canonical_vars enc in
       let nports = List.length ports in
       let port_term = Term.var Symexec.ingress_port_var 16 in
-      let packets =
-        List.mapi
-          (fun i goal ->
-            (* Soft constraints, weakest-last: preferred outcome plus a
-               cycled ingress port, then progressively relaxed. *)
-            let preferred_port =
-              Term.eq port_term
-                (Term.of_int ~width:16 (List.nth ports ((index_offset + i) mod nports)))
-            in
-            let attempts =
-              [ [ goal.goal_cond; goal.goal_prefer; preferred_port ];
-                [ goal.goal_cond; goal.goal_prefer ];
-                [ goal.goal_cond; preferred_port ];
-                [ goal.goal_cond ] ]
-            in
-            let rec solve = function
-              | [] -> Solver.Unsat
-              | assumptions :: rest -> (
-                  match Solver.check ~assumptions solver with
-                  | Solver.Sat _ as r -> r
-                  | Solver.Unsat -> solve rest)
-            in
-            let result =
-              Telemetry.with_span tele "symbolic.goal"
-                ~attrs:[ ("goal", goal.goal_id) ]
-                (fun () -> solve attempts)
-            in
-            match result with
-            | Solver.Sat m ->
-                Telemetry.incr tele "symbolic.goals_covered";
-                { tp_goal = goal.goal_id;
-                  tp_kind = goal.goal_kind;
-                  tp_port = port_of_model m ports;
-                  tp_bytes = Some (packet_of_model enc m) }
-            | Solver.Unsat ->
-                Telemetry.incr tele "symbolic.goals_uncoverable";
-                { tp_goal = goal.goal_id;
-                  tp_kind = goal.goal_kind;
-                  tp_port = List.hd ports;
-                  tp_bytes = None })
-          goals
+      let preferred_port i =
+        Term.eq port_term
+          (Term.of_int ~width:16 (List.nth ports ((index_offset + i) mod nports)))
+      in
+      let packet_of goal model =
+        match model with
+        | Some m ->
+            Telemetry.incr tele "symbolic.goals_covered";
+            { tp_goal = goal.goal_id;
+              tp_kind = goal.goal_kind;
+              tp_port = port_of_model m ports;
+              tp_bytes = Some (packet_of_model enc m) }
+        | None ->
+            Telemetry.incr tele "symbolic.goals_uncoverable";
+            { tp_goal = goal.goal_id;
+              tp_kind = goal.goal_kind;
+              tp_port = List.hd ports;
+              tp_bytes = None }
+      in
+      let solve_member solver goal ~cond_conjuncts ~pport =
+        let model =
+          Telemetry.with_span tele "symbolic.goal"
+            ~attrs:[ ("goal", goal.goal_id) ]
+            (fun () ->
+              solve_cascade solver ~canonical ~cond_conjuncts
+                ~prefer:goal.goal_prefer ~pport)
+        in
+        packet_of goal model
+      in
+      let packets, solver_stats =
+        if incremental then begin
+          (* One solver for the whole goal list: the encoding bit-blasts
+             once, learned clauses persist across goals, and each group's
+             shared guard prefix is asserted once in a push scope.
+
+             The shared solver accumulates Tseitin gates for every goal's
+             unique guard structure, and a solve assigns every variable in
+             the database — so an unboundedly shared solver makes each
+             check dearer than the last (quadratic over a long campaign).
+             Re-seeding a fresh solver once the variable count outgrows the
+             base encoding bounds the accumulation; canonical witness
+             extraction makes the reset points invisible in the results. *)
+          let solver = ref (Solver.create ()) in
+          assert_base !solver enc ports;
+          let sat_vars s =
+            Option.value ~default:0 (List.assoc_opt "sat_vars" (Solver.stats s))
+          in
+          let base_vars = sat_vars !solver in
+          let retired = ref [] in
+          let reseed_if_grown () =
+            if sat_vars !solver > 3 * base_vars + 512 then begin
+              Telemetry.incr tele "smt.solver_reseeds";
+              retired := sum_stats !retired (Solver.stats !solver);
+              solver := Solver.create ();
+              assert_base !solver enc ports
+            end
+          in
+          let items =
+            List.mapi (fun i goal -> (i, goal, Term.flatten_conj goal.goal_cond)) goals
+          in
+          let packets =
+            List.concat_map
+              (fun { gr_prefix; gr_members } ->
+                reseed_if_grown ();
+                let solver = !solver in
+                Solver.push solver;
+                Fun.protect
+                  ~finally:(fun () -> Solver.pop solver)
+                  (fun () ->
+                    Solver.assert_formula solver (Term.conj gr_prefix);
+                    List.map
+                      (fun (i, goal, conjuncts) ->
+                        let suffix =
+                          (* The group prefix may be shorter than this
+                             goal's own: the rest rides as assumptions. *)
+                          let rec drop n l =
+                            if n = 0 then l
+                            else match l with [] -> [] | _ :: tl -> drop (n - 1) tl
+                          in
+                          drop (List.length gr_prefix) conjuncts
+                        in
+                        solve_member solver goal ~cond_conjuncts:suffix
+                          ~pport:(preferred_port i))
+                      gr_members))
+              (group_goals items)
+          in
+          (packets, sum_stats !retired (Solver.stats !solver))
+        end
+        else begin
+          (* Scratch mode (the bench baseline, and the reference for the
+             equivalence gate): every goal re-bit-blasts the encoding into
+             a fresh solver and solves with nothing learned. *)
+          let stats = ref [] in
+          let packets =
+            List.mapi
+              (fun i goal ->
+                let solver = Solver.create () in
+                assert_base solver enc ports;
+                let packet =
+                  solve_member solver goal ~cond_conjuncts:[ goal.goal_cond ]
+                    ~pport:(preferred_port i)
+                in
+                stats := sum_stats !stats (Solver.stats solver);
+                packet)
+              goals
+          in
+          (packets, !stats)
+        end
       in
       (match cache with
       | Some c -> Cache.store c ~key (serialize packets)
@@ -330,5 +494,5 @@ let generate ?(ports = [ 1; 2; 3; 4 ]) ?(index_offset = 0) ?cache (enc : Symexec
       { packets;
         covered;
         uncoverable = List.length packets - covered;
-        solver_stats = Solver.stats solver;
+        solver_stats;
         from_cache = false }

@@ -90,6 +90,7 @@ val generate :
   ?ports:int list ->
   ?index_offset:int ->
   ?cache:Cache.t ->
+  ?incremental:bool ->
   Symexec.encoding ->
   goal list ->
   result
@@ -99,9 +100,20 @@ val generate :
     campaign-wide goal list: the preferred-port soft constraint cycles by
     global goal index, so a sharded campaign that solves slice
     [\[off, off+n)] passes [~index_offset:off] and gets exactly the
-    packets the unsliced campaign would produce for those goals {e modulo}
-    solver state (each call uses a fresh solver). The offset participates
-    in the cache key. *)
+    packets the unsliced campaign would produce for those goals. The
+    offset participates in the cache key.
+
+    [incremental] (default [true]) selects the solving pipeline. When on,
+    one solver instance serves the whole goal list: consecutive goals are
+    grouped by their longest shared prefix of guard conjuncts (symexec
+    builds every guard of a table onto one physically shared context), the
+    prefix is asserted once inside a push scope, and each goal solves as an
+    assumption delta with learned clauses carried across goals; unsat cores
+    prune the soft-constraint cascade. When off, every goal re-bit-blasts
+    the encoding into a fresh solver (the bench baseline). Both pipelines
+    extract {e canonical} (lexicographically minimal) witness models, so
+    they return identical packets and identical verdicts — [incremental]
+    is deliberately absent from the cache key. *)
 
 val cache_key :
   Symexec.encoding -> goal list -> ports:int list -> index_offset:int -> string

@@ -13,6 +13,22 @@ let field_var ~header ~field = Printf.sprintf "in.%s.%s" header field
 let validity_var ~header = "valid." ^ header
 let ingress_port_var = "in.std.ingress_port"
 
+(* The model-extraction variables of a program, in a canonical order fixed
+   by the program text alone: per header (program order) the validity bit
+   then each field, then the ingress port. Packet generation uses this as
+   the lexicographic preference order for canonical models, so the order —
+   like the names — must not depend on entries, goals, or solver state. *)
+let model_input_vars (program : Ast.program) =
+  List.concat_map
+    (fun (h : Header.t) ->
+      `Bool (validity_var ~header:h.name)
+      :: List.map
+           (fun (f : Header.field) ->
+             `Bv (field_var ~header:h.name ~field:f.f_name, f.f_width))
+           h.fields)
+    program.p_headers
+  @ [ `Bv (ingress_port_var, 16) ]
+
 type trace_point = {
   tp_table : string;
   tp_label : string;

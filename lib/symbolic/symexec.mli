@@ -26,6 +26,13 @@ val field_var : header:string -> field:string -> string
 val validity_var : header:string -> string
 val ingress_port_var : string
 
+val model_input_vars :
+  Switchv_p4ir.Ast.program -> [ `Bool of string | `Bv of string * int ] list
+(** The variables a witness model is read from, in a canonical order fixed
+    by the program text alone: per header (program order) the validity bit
+    then each field, then the ingress port. Packet generation uses this as
+    the lexicographic preference order for canonical models. *)
+
 type trace_point = {
   tp_table : string;               (** table name, or ["<if>"] for branches *)
   tp_label : string;               (** entry match-key, ["<default>"], or branch id *)

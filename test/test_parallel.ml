@@ -275,6 +275,38 @@ let test_data_sharded_matches_sequential () =
     s4.Report.ds_packets_tested;
   check_int "coverage identical" s1.Report.ds_covered s4.Report.ds_covered
 
+(* The jobs × incremental matrix: goal slicing relies on generation
+   results being a pure function of the goal list, and the incremental
+   SMT pipeline relies on canonical models to be indistinguishable from
+   per-goal scratch solving — so all four combinations must report the
+   byte-identical campaign. *)
+let test_data_jobs_incremental_matrix () =
+  let fault =
+    fault_where (function Fault.Syncd_drops_table _ -> true | _ -> false)
+  in
+  let run ~jobs ~incremental =
+    let stack = Stack.create ~faults:[ fault ] Middleblock.program in
+    let config =
+      { (Data_campaign.default_config entries) with
+        shards = 4; test_packet_io = false; incremental }
+    in
+    Data_campaign.run ~jobs stack config
+  in
+  let base_i, base_s = run ~jobs:1 ~incremental:true in
+  check_bool "found something to compare" true (base_i <> []);
+  List.iter
+    (fun (jobs, incremental) ->
+      let i, s = run ~jobs ~incremental in
+      let label =
+        Printf.sprintf "jobs=%d incremental=%b identical" jobs incremental
+      in
+      check_string_list label (incident_json base_i) (incident_json i);
+      check_int (label ^ " coverage") base_s.Report.ds_covered s.Report.ds_covered;
+      check_int
+        (label ^ " uncoverable")
+        base_s.Report.ds_uncoverable s.Report.ds_uncoverable)
+    [ (1, false); (4, true); (4, false) ]
+
 let test_harness_report_identical_across_jobs () =
   let fault =
     fault_where (function Fault.Syncd_drops_table _ -> true | _ -> false)
@@ -335,5 +367,7 @@ let () =
             test_control_sharded_matches_sequential;
           Alcotest.test_case "data campaign" `Quick
             test_data_sharded_matches_sequential;
+          Alcotest.test_case "jobs x incremental matrix" `Quick
+            test_data_jobs_incremental_matrix;
           Alcotest.test_case "harness report" `Quick
             test_harness_report_identical_across_jobs ] ) ]

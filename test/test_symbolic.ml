@@ -426,6 +426,36 @@ let test_port_cycling () =
   in
   check_bool "all four ingress ports used" true (List.length ports = 4)
 
+(* The incremental pipeline (shared solver, push/pop prefix scopes,
+   assumption deltas) and the per-goal scratch pipeline must produce the
+   byte-identical result — ports, bytes, verdicts, order. Canonical
+   (lexicographically minimal) witness models are what make this hold; it
+   is also why [incremental] needs no spot in the cache key. *)
+let test_incremental_matches_scratch () =
+  Switchv_smt.Solver.check_models := true;
+  Fun.protect
+    ~finally:(fun () -> Switchv_smt.Solver.check_models := false)
+    (fun () ->
+      let entries = Workload.generate ~seed:4 Middleblock.program Workload.small in
+      let enc = Symexec.encode Middleblock.program entries in
+      let goals =
+        Packetgen.entry_coverage_goals enc
+        @ Packetgen.branch_coverage_goals enc
+      in
+      let inc = Packetgen.generate ~incremental:true enc goals in
+      let scr = Packetgen.generate ~incremental:false enc goals in
+      check_int "same packet count" (List.length scr.packets)
+        (List.length inc.packets);
+      List.iter2
+        (fun (a : Packetgen.test_packet) (b : Packetgen.test_packet) ->
+          Alcotest.check Alcotest.string "goal order" a.tp_goal b.tp_goal;
+          check_int (a.tp_goal ^ " port") a.tp_port b.tp_port;
+          check_bool (a.tp_goal ^ " bytes identical") true
+            (a.tp_bytes = b.tp_bytes))
+        scr.packets inc.packets;
+      check_int "covered identical" scr.covered inc.covered;
+      check_int "uncoverable identical" scr.uncoverable inc.uncoverable)
+
 let () =
   Alcotest.run "symbolic"
     [ ("agreement",
@@ -449,4 +479,7 @@ let () =
          Alcotest.test_case "disk backend" `Quick test_disk_cache ]);
       ("preferences",
        [ Alcotest.test_case "prefer forwarded" `Quick test_prefer_forwarded;
-         Alcotest.test_case "port cycling" `Quick test_port_cycling ]) ]
+         Alcotest.test_case "port cycling" `Quick test_port_cycling ]);
+      ("incremental",
+       [ Alcotest.test_case "matches scratch byte-for-byte" `Quick
+           test_incremental_matches_scratch ]) ]
