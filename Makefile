@@ -1,6 +1,6 @@
 # Convenience targets; everything is plain dune underneath.
 
-.PHONY: all build check test bench bench-quick micro examples lint-models replay-corpus check-parallel check-smt clean
+.PHONY: all build check test bench bench-quick micro examples lint-models replay-corpus check-parallel check-smt check-obs clean
 
 MODELS = middleblock tor wan cerberus figure2
 
@@ -19,6 +19,7 @@ check:
 	$(MAKE) replay-corpus
 	$(MAKE) check-parallel
 	$(MAKE) check-smt
+	$(MAKE) check-obs
 
 # Regression-corpus gate: every archived incident in the golden corpus must
 # still reproduce on a stack seeded with the fault it was captured under
@@ -63,6 +64,56 @@ check-smt:
 	  --batches 4 --no-incremental --save-corpus /tmp/swv_smt_scr.jsonl >/dev/null
 	cmp /tmp/swv_smt_inc.jsonl /tmp/swv_smt_scr.jsonl
 	rm -f /tmp/swv_smt_inc.jsonl /tmp/swv_smt_scr.jsonl
+
+# Observability gate, four legs. (1) Live exposition: a faulted sharded
+# campaign serves /metrics while running; poll (with switchv top, the
+# dependency-free curl) until the live coverage gauge goes nonzero, lint
+# the Prometheus exposition format, fetch /snapshot.json and /healthz,
+# then interrupt the campaign with SIGINT and verify the --trace file was
+# still published atomically (exists, no torn final line). (2) Coverage
+# determinism: --coverage-out maps at --jobs 1 and --jobs 4 must be
+# byte-identical. (3) Trace stitching: a --jobs trace converts to Chrome
+# format with one root and zero orphan spans (trace-export exits non-zero
+# otherwise). (4) Overhead budget: the obs_overhead bench artifact must
+# show telemetry within its budget on the genpackets/inject hot paths.
+OBS_PORT = 19473
+SWITCHV = ./_build/default/bin/switchv_cli.exe
+check-obs:
+	dune build @all
+	rm -f /tmp/swv_obs_cov1.txt /tmp/swv_obs_cov4.txt /tmp/swv_obs_trace.jsonl \
+	  /tmp/swv_obs_live.jsonl /tmp/swv_obs_chrome.json
+	$(SWITCHV) validate -m middleblock --fault PINS-019 --scale 0.2 \
+	  --batches 4 --shards 4 --jobs 4 --metrics-port $(OBS_PORT) \
+	  --trace /tmp/swv_obs_live.jsonl >/dev/null 2>&1 & \
+	pid=$$!; \
+	up=0; \
+	for i in $$(seq 1 300); do \
+	  cov=$$($(SWITCHV) top --port $(OBS_PORT) --fetch /metrics 2>/dev/null \
+	    | awk '$$1 == "switchv_edges_covered" && $$2 + 0 > 0 { print $$2 }'); \
+	  if [ -n "$$cov" ]; then up=1; break; fi; \
+	  sleep 0.2; \
+	done; \
+	if [ $$up -ne 1 ]; then echo "check-obs: live coverage gauge never went nonzero"; kill $$pid 2>/dev/null; exit 1; fi; \
+	echo "check-obs: live switchv_edges_covered=$$cov"; \
+	$(SWITCHV) top --port $(OBS_PORT) --lint || { kill $$pid 2>/dev/null; exit 1; }; \
+	$(SWITCHV) top --port $(OBS_PORT) --once || { kill $$pid 2>/dev/null; exit 1; }; \
+	$(SWITCHV) top --port $(OBS_PORT) --fetch /snapshot.json >/dev/null || { kill $$pid 2>/dev/null; exit 1; }; \
+	$(SWITCHV) top --port $(OBS_PORT) --fetch /healthz | grep -q ok || { kill $$pid 2>/dev/null; exit 1; }; \
+	kill -INT $$pid 2>/dev/null; \
+	wait $$pid; true
+	test -s /tmp/swv_obs_live.jsonl
+	test -z "$$(tail -c 1 /tmp/swv_obs_live.jsonl)"
+	! $(SWITCHV) validate -m middleblock --fault PINS-019 --batches 4 \
+	  --shards 4 --jobs 1 --coverage-out /tmp/swv_obs_cov1.txt >/dev/null
+	! $(SWITCHV) validate -m middleblock --fault PINS-019 --batches 4 \
+	  --shards 4 --jobs 4 --coverage-out /tmp/swv_obs_cov4.txt \
+	  --trace /tmp/swv_obs_trace.jsonl >/dev/null
+	cmp /tmp/swv_obs_cov1.txt /tmp/swv_obs_cov4.txt
+	$(SWITCHV) trace-export --chrome -o /tmp/swv_obs_chrome.json \
+	  /tmp/swv_obs_trace.jsonl
+	dune exec bench/main.exe -- quick obs_overhead
+	rm -f /tmp/swv_obs_cov1.txt /tmp/swv_obs_cov4.txt /tmp/swv_obs_trace.jsonl \
+	  /tmp/swv_obs_live.jsonl /tmp/swv_obs_chrome.json
 
 # Static-analysis gate: every built-in role model and every example model
 # must carry zero error-severity findings (warnings/info are advisory and

@@ -838,6 +838,112 @@ let parallel_bench () =
       (now () -. t0, incidents))
 
 (* ------------------------------------------------------------------ *)
+(* Obs: instrumentation overhead on the hot paths                      *)
+(* ------------------------------------------------------------------ *)
+
+let obs_overhead_bench () =
+  banner "Obs: telemetry + coverage accounting overhead on hot paths";
+  let reps = if !quick then 3 else 9 in
+  let budget_pct = if !quick then 10. else 5. in
+  Printf.printf
+    "Each hot path runs under an enabled registry (counters, histograms,\n\
+     spans, per-edge coverage accounting — the always-on configuration)\n\
+     and a disabled one (every telemetry call short-circuits on one bool).\n\
+     The two configurations are interleaved rep-by-rep so cache and\n\
+     scheduler drift lands on both sides; best-of-%d per configuration.\n\
+     Budget: <= %.0f%%.\n\n"
+    reps budget_pct;
+  let profile =
+    if !quick then Workload.small else Workload.scaled 0.1 Workload.inst1
+  in
+  let entries = Workload.generate ~seed:42 Middleblock.program profile in
+  let time_pair f =
+    let run ~enabled =
+      let t = Telemetry.create () in
+      Telemetry.set_enabled t enabled;
+      Telemetry.with_registry t (fun () ->
+          let t0 = now () in
+          ignore (f ());
+          now () -. t0)
+    in
+    ignore (run ~enabled:false);
+    ignore (run ~enabled:true);
+    let best_off = ref infinity and best_on = ref infinity in
+    for _ = 1 to reps do
+      best_off := Float.min !best_off (run ~enabled:false);
+      best_on := Float.min !best_on (run ~enabled:true)
+    done;
+    (!best_off, !best_on)
+  in
+  (* genpackets: encoding + SMT goal solving, validate's "Generation"
+     phase (telemetry here is spans + per-check counter deltas). *)
+  let genpackets () =
+    let enc = Symexec.encode Middleblock.program entries in
+    Packetgen.generate enc (Packetgen.entry_coverage_goals enc)
+  in
+  (* inject: the bmv2 interpreter loop, validate's "Testing" phase —
+     where the per-edge coverage counters were added. *)
+  let inject =
+    let state = State.create () in
+    List.iter (fun e -> ignore (State.insert state e)) entries;
+    let cfg =
+      { Interp.program = Middleblock.program; state; hash_mode = Interp.Fixed 0;
+        mirror_map = [] }
+    in
+    let packets =
+      List.init 64 (fun i ->
+          Switchv_packet.Packet.to_bytes
+            (Switchv_packet.Packet.simple_ipv4 ~src:"192.0.2.1"
+               ~dst:(Printf.sprintf "10.%d.%d.%d" (i mod 200) (i / 8) (succ i mod 251))
+               ()))
+    in
+    let rounds = if !quick then 20 else 60 in
+    fun () ->
+      for _ = 1 to rounds do
+        List.iter (fun p -> ignore (Interp.run cfg ~ingress_port:1 p)) packets
+      done
+  in
+  let paths =
+    [ ("genpackets", fun () -> ignore (genpackets ())); ("inject", inject) ]
+  in
+  let rows =
+    List.map
+      (fun (name, f) ->
+        let off, on = time_pair f in
+        let pct = if off > 0. then 100. *. (on -. off) /. off else 0. in
+        Printf.printf
+          "%-12s disabled %8.3fs   enabled %8.3fs   overhead %+6.2f%%\n%!" name
+          off on pct;
+        (name, off, on, pct))
+      paths
+  in
+  let max_pct =
+    List.fold_left (fun a (_, _, _, p) -> Float.max a p) neg_infinity rows
+  in
+  let json =
+    let row (n, off, on, p) =
+      Printf.sprintf
+        "    {\"path\": %S, \"disabled_s\": %.4f, \"enabled_s\": %.4f, \
+         \"overhead_pct\": %.2f}"
+        n off on p
+    in
+    Printf.sprintf
+      "{\n  \"artifact\": \"obs_overhead\",\n  \"budget_pct\": %.1f,\n  \
+       \"paths\": [\n%s\n  ],\n  \"max_overhead_pct\": %.2f\n}\n"
+      budget_pct
+      (String.concat ",\n" (List.map row rows))
+      max_pct
+  in
+  let oc = open_out "BENCH_obs_overhead.json" in
+  output_string oc json;
+  close_out oc;
+  Printf.printf "wrote BENCH_obs_overhead.json\n";
+  if max_pct > budget_pct then
+    failwith
+      (Printf.sprintf "telemetry overhead %.2f%% exceeds the %.0f%% budget"
+         max_pct budget_pct)
+
+(* ------------------------------------------------------------------ *)
 (* Bechamel micro-benchmarks                                           *)
 (* ------------------------------------------------------------------ *)
 
@@ -902,7 +1008,7 @@ let () =
   let args = List.filter (fun a -> a <> "quick") args in
   let all =
     [ "table1"; "table2"; "table3"; "figure7"; "ablations"; "triage"; "parallel";
-      "smt_incremental" ]
+      "smt_incremental"; "obs_overhead" ]
   in
   let selected = if args = [] then all else args in
   let t0 = now () in
@@ -921,13 +1027,14 @@ let () =
       | "triage" -> triage_bench ()
       | "parallel" -> parallel_bench ()
       | "smt_incremental" -> smt_incremental_bench ()
+      | "obs_overhead" -> obs_overhead_bench ()
       | "micro" -> micro ()
       | other ->
           known := false;
           Printf.printf
             "unknown artifact %S (use \
              table1|table2|table3|figure7|ablations|triage|parallel|\
-             smt_incremental|micro|quick)\n"
+             smt_incremental|obs_overhead|micro|quick)\n"
             other);
       if !known then
         Printf.printf "\ntelemetry %s %s\n" artifact

@@ -1,14 +1,16 @@
 (* The SwitchV command-line interface.
 
    Subcommands:
-     validate   — full nightly validation (fuzzer + oracle, symbolic + diff)
-     replay     — re-run a regression corpus against a (fresh) switch stack
-     fuzz       — control-plane campaign only
-     genpackets — p4-symbolic packet generation only
-     lint       — static analysis diagnostics (CFG + dataflow + BDD)
-     trivial    — the §6.2 trivial integration-test suite
-     model      — print a P4 model or its P4Info ("living documentation")
-     catalogue  — list the seeded-bug catalogue
+     validate     — full nightly validation (fuzzer + oracle, symbolic + diff)
+     replay       — re-run a regression corpus against a (fresh) switch stack
+     fuzz         — control-plane campaign only
+     genpackets   — p4-symbolic packet generation only
+     lint         — static analysis diagnostics (CFG + dataflow + BDD)
+     trivial      — the §6.2 trivial integration-test suite
+     model        — print a P4 model or its P4Info ("living documentation")
+     catalogue    — list the seeded-bug catalogue
+     top          — poll a running campaign's /metrics endpoint
+     trace-export — stitch a campaign trace / convert to Chrome format
 
    Switches under test are the simulated stacks; --fault seeds catalogue
    bugs by id so every paper experiment is reproducible from the shell. *)
@@ -32,6 +34,11 @@ module Telemetry = Switchv_telemetry.Telemetry
 module Analysis = Switchv_analysis.Analysis
 module Diagnostics = Switchv_analysis.Diagnostics
 module Corpus = Switchv_triage.Corpus
+module Coverage = Switchv_obs.Coverage
+module Prom = Switchv_obs.Prom
+module Serve = Switchv_obs.Serve
+module Progress = Switchv_obs.Progress
+module Obs_trace = Switchv_obs.Trace
 
 open Cmdliner
 
@@ -109,7 +116,9 @@ let cache_dir_arg =
 let trace_file_arg =
   let doc =
     "Write a JSONL span trace of the run to $(docv) (one event per line; see \
-     the Observability section of the README for the schema)."
+     the Observability section of the README for the schema). The file is \
+     staged as $(docv).tmp and renamed on completion — including on Ctrl-C — \
+     so a published trace never ends in a torn line."
   in
   Arg.(value & opt (some string) None & info [ "trace" ] ~docv:"FILE" ~doc)
 
@@ -117,11 +126,7 @@ let trace_file_arg =
 let with_trace file f =
   match file with
   | None -> f ()
-  | Some path ->
-      let oc = open_out path in
-      Fun.protect
-        ~finally:(fun () -> close_out oc)
-        (fun () -> Telemetry.with_trace_channel (Telemetry.get ()) oc f)
+  | Some path -> Obs_trace.with_file_sink (Telemetry.get ()) path f
 
 let workload program scale seed =
   Workload.generate ~seed program (Workload.scaled scale Workload.inst1)
@@ -178,9 +183,41 @@ let no_incremental_arg =
   in
   Arg.(value & flag & info [ "no-incremental" ] ~doc)
 
+(* Live exposition for a running validate: the three HTTP routes every
+   scraper/operator tool needs. Coverage is recomputed per request from
+   the ambient registry — counters absorbed from workers are already in
+   it, so the gauges move while the campaign runs. *)
+let exposition_routes tele program =
+  let coverage () = Coverage.of_registry tele program in
+  let metrics () =
+    let cov = coverage () in
+    let gauge name help v =
+      { Prom.g_name = name; g_help = help; g_value = float_of_int v }
+    in
+    ( "text/plain; version=0.0.4",
+      Prom.render
+        ~gauges:
+          [ gauge "switchv_edges_covered"
+              "CFG edges executed so far (live coverage numerator)."
+              cov.Coverage.covered;
+            gauge "switchv_edges_total"
+              "CFG edge space of the model under test." cov.Coverage.total ]
+        tele )
+  in
+  let snapshot () =
+    let cov = coverage () in
+    ( "application/json",
+      Telemetry.Json.obj
+        [ ("telemetry", Telemetry.snapshot_to_json (Telemetry.snapshot tele));
+          ("coverage", Coverage.to_json cov) ]
+      ^ "\n" )
+  in
+  [ ("/metrics", metrics); ("/healthz", fun () -> ("text/plain", "ok\n"));
+    ("/snapshot.json", snapshot) ]
+
 let validate_cmd =
   let run program seed scale fault_ids batches cache_dir trace_file corpus_file
-      minimize jobs shards no_incremental =
+      minimize jobs shards no_incremental metrics_port coverage_out progress =
     let entries = workload program scale seed in
     let faults = resolve_faults program entries fault_ids in
     let mk () = Stack.create ~faults program in
@@ -193,8 +230,42 @@ let validate_cmd =
         data_shards = shards;
         incremental = not no_incremental }
     in
-    let report = with_trace trace_file (fun () -> Harness.validate mk config) in
+    let tele = Telemetry.get () in
+    let server =
+      Option.map
+        (fun port ->
+          let srv = Serve.start ~port (exposition_routes tele program) in
+          Printf.eprintf "[switchv] serving http://127.0.0.1:%d/metrics\n%!"
+            (Serve.port srv);
+          srv)
+        metrics_port
+    in
+    let ticker =
+      if progress then
+        Some
+          (Progress.start tele
+             ~coverage:(fun () ->
+               let c = Coverage.of_registry tele program in
+               Some (c.Coverage.covered, c.Coverage.total))
+             ())
+      else None
+    in
+    let report =
+      Fun.protect
+        ~finally:(fun () ->
+          Option.iter Progress.stop ticker;
+          Option.iter Serve.stop server)
+        (fun () -> with_trace trace_file (fun () -> Harness.validate mk config))
+    in
     Format.printf "%a@." Report.pp report;
+    (match (coverage_out, report.Report.coverage) with
+    | Some path, Some cov ->
+        Coverage.write_file cov path;
+        Printf.printf "coverage map (%d/%d edges) written to %s\n"
+          cov.Coverage.covered cov.Coverage.total path
+    | Some path, None ->
+        Printf.printf "no coverage map collected; %s not written\n" path
+    | None, _ -> ());
     (match corpus_file with
     | None -> ()
     | Some path ->
@@ -217,18 +288,42 @@ let validate_cmd =
         Printf.printf "archived %d reproducer(s) to %s\n" (List.length records) path);
     if Report.clean report then Ok () else Error (false, "incidents reported")
   in
+  let metrics_port_arg =
+    let doc =
+      "Serve live campaign metrics over HTTP on 127.0.0.1:$(docv) while the \
+       run is in flight: $(b,/metrics) (Prometheus text format, with live \
+       $(b,switchv_edges_covered)/$(b,switchv_edges_total) coverage gauges), \
+       $(b,/healthz), and $(b,/snapshot.json). Port 0 picks an ephemeral \
+       port (printed to stderr). Poll it with $(b,switchv top)."
+    in
+    Arg.(value & opt (some int) None & info [ "metrics-port" ] ~docv:"PORT" ~doc)
+  in
+  let coverage_out_arg =
+    let doc =
+      "Write the final coverage map to $(docv) (canonical text form, written \
+       atomically; byte-identical at any $(b,--jobs) count)."
+    in
+    Arg.(value & opt (some string) None & info [ "coverage-out" ] ~docv:"FILE" ~doc)
+  in
+  let progress_arg =
+    let doc =
+      "Print a one-line progress heartbeat to stderr every 2s: goals solved, \
+       packets injected, incidents, live coverage, and an ETA."
+    in
+    Arg.(value & flag & info [ "progress" ] ~doc)
+  in
   let doc = "Run a full SwitchV validation (control plane + data plane)." in
   Cmd.v
     (Cmd.info "validate" ~doc)
     Term.(
       term_result' ~usage:false
-        (const (fun p s sc f b c t cf mz j sh ni ->
-             match run p s sc f b c t cf mz j sh ni with
+        (const (fun p s sc f b c t cf mz j sh ni mp co pr ->
+             match run p s sc f b c t cf mz j sh ni mp co pr with
              | Ok () -> Ok ()
              | Error (_, m) -> Error m)
         $ model_arg $ seed_arg $ scale_arg $ faults_arg $ batches_arg $ cache_dir_arg
         $ trace_file_arg $ save_corpus_arg $ minimize_arg $ jobs_arg $ shards_arg
-        $ no_incremental_arg))
+        $ no_incremental_arg $ metrics_port_arg $ coverage_out_arg $ progress_arg))
 
 (* --- replay ---------------------------------------------------------------- *)
 
@@ -503,11 +598,220 @@ let catalogue_cmd =
   let doc = "List the seeded-bug catalogue (the paper's Table 1 population)." in
   Cmd.v (Cmd.info "catalogue" ~doc) Term.(const run $ which)
 
+(* --- top ----------------------------------------------------------------------------- *)
+
+(* Pull one metric's value out of a Prometheus exposition body. *)
+let prom_value body name =
+  let lines = String.split_on_char '\n' body in
+  List.find_map
+    (fun line ->
+      match String.index_opt line ' ' with
+      | Some i when String.sub line 0 i = name -> (
+          match
+            float_of_string_opt
+              (String.sub line (i + 1) (String.length line - i - 1))
+          with
+          | Some v -> Some v
+          | None -> None)
+      | _ -> None)
+    lines
+
+let top_cmd =
+  let run host port interval once fetch_path lint =
+    match fetch_path with
+    | Some path -> (
+        (* Raw mode: print one resource verbatim — the CI gate's curl. *)
+        match Serve.fetch ~host ~port path with
+        | Ok body ->
+            print_string body;
+            Ok ()
+        | Error e -> Error (Printf.sprintf "GET %s: %s" path e))
+    | None when lint -> (
+        match Serve.fetch ~host ~port "/metrics" with
+        | Ok body -> (
+            match Prom.lint body with
+            | [] ->
+                Printf.printf "metrics exposition clean (%d bytes)\n"
+                  (String.length body);
+                Ok ()
+            | errs ->
+                List.iter (fun e -> Printf.eprintf "lint: %s\n" e) errs;
+                Error
+                  (Printf.sprintf "%d exposition-format error(s)"
+                     (List.length errs)))
+        | Error e -> Error (Printf.sprintf "GET /metrics: %s" e))
+    | None ->
+        let started = Telemetry.Clock.now () in
+        let render body =
+          let v name = prom_value body name in
+          let iv name = Option.map int_of_float (v name) in
+          let b = Buffer.create 128 in
+          Printf.bprintf b "[switchv top] %6.1fs"
+            (Telemetry.Clock.duration ~since:started);
+          (match (iv "switchv_edges_covered", iv "switchv_edges_total") with
+          | Some c, Some t when t > 0 ->
+              Printf.bprintf b " | coverage %d/%d (%.1f%%)" c t
+                (100. *. float_of_int c /. float_of_int t)
+          | _ -> ());
+          (match
+             ( iv "switchv_symbolic_goals_covered",
+               iv "switchv_symbolic_goals_uncoverable",
+               iv "switchv_goals_total" )
+           with
+          | Some c, Some u, Some total when total > 0 ->
+              Printf.bprintf b " | goals %d/%d" (c + u) total
+          | _ -> ());
+          (match iv "switchv_switch_packets_injected" with
+          | Some n -> Printf.bprintf b " | packets %d" n
+          | None -> ());
+          (match iv "switchv_campaign_incidents" with
+          | Some n -> Printf.bprintf b " | incidents %d" n
+          | None -> ());
+          Buffer.contents b
+        in
+        let rec loop () =
+          match Serve.fetch ~host ~port "/metrics" with
+          | Error e ->
+              (* A campaign that finished (endpoint gone) is not a failure
+                 for a watcher, but a first poll that never connects is. *)
+              if Telemetry.Clock.duration ~since:started > 0. && not once then begin
+                Printf.printf "[switchv top] endpoint gone (%s)\n" e;
+                Ok ()
+              end
+              else Error (Printf.sprintf "GET /metrics: %s" e)
+          | Ok body ->
+              print_endline (render body);
+              if once then Ok ()
+              else begin
+                Thread.delay interval;
+                loop ()
+              end
+        in
+        loop ()
+  in
+  let host_arg =
+    Arg.(
+      value & opt string "127.0.0.1"
+      & info [ "host" ] ~docv:"HOST" ~doc:"Host serving the metrics endpoint.")
+  in
+  let port_arg =
+    Arg.(
+      required & opt (some int) None
+      & info [ "p"; "port" ] ~docv:"PORT"
+          ~doc:"Port of a running $(b,validate --metrics-port).")
+  in
+  let interval_arg =
+    Arg.(
+      value & opt float 2.0
+      & info [ "interval" ] ~docv:"SECONDS" ~doc:"Seconds between polls.")
+  in
+  let once_arg =
+    Arg.(value & flag & info [ "once" ] ~doc:"Print one status line and exit.")
+  in
+  let fetch_arg =
+    let doc =
+      "Print the raw body of $(docv) (e.g. $(b,/metrics), \
+       $(b,/snapshot.json)) and exit — a dependency-free curl for scripts \
+       and the CI gate."
+    in
+    Arg.(value & opt (some string) None & info [ "fetch" ] ~docv:"PATH" ~doc)
+  in
+  let lint_arg =
+    let doc =
+      "Fetch $(b,/metrics) once and check it against the Prometheus text \
+       exposition format; exit non-zero on any violation."
+    in
+    Arg.(value & flag & info [ "lint" ] ~doc)
+  in
+  let doc =
+    "Watch a running campaign through its $(b,--metrics-port) endpoint: a \
+     periodic one-line summary, a raw resource fetch, or an \
+     exposition-format lint."
+  in
+  Cmd.v
+    (Cmd.info "top" ~doc)
+    Term.(
+      term_result' ~usage:false
+        (const (fun h p i o f l ->
+             match run h p i o f l with Ok () -> Ok () | Error m -> Error m)
+        $ host_arg $ port_arg $ interval_arg $ once_arg $ fetch_arg $ lint_arg))
+
+(* --- trace-export --------------------------------------------------------------------- *)
+
+let trace_export_cmd =
+  let run input chrome output =
+    if not (Sys.file_exists input) then
+      Error (Printf.sprintf "no such trace file: %s" input)
+    else begin
+      let events, skipped = Obs_trace.read_file input in
+      let st = Obs_trace.stitch events in
+      Printf.eprintf
+        "[trace-export] %d span(s), %d root(s), %d orphan(s), %d id block(s)%s\n%!"
+        st.Obs_trace.st_spans st.Obs_trace.st_roots st.Obs_trace.st_orphans
+        st.Obs_trace.st_blocks
+        (if skipped > 0 then Printf.sprintf ", %d unparseable line(s)" skipped
+         else "");
+      if chrome then begin
+        let json = Obs_trace.to_chrome events in
+        (match output with
+        | Some path ->
+            let oc = open_out path in
+            output_string oc json;
+            output_char oc '\n';
+            close_out oc;
+            Printf.eprintf "[trace-export] wrote %s\n%!" path
+        | None -> print_endline json);
+        if st.Obs_trace.st_orphans > 0 then
+          Error
+            (Printf.sprintf "%d orphan span(s): trace is not a stitched tree"
+               st.Obs_trace.st_orphans)
+        else Ok ()
+      end
+      else Ok ()
+    end
+  in
+  let input_arg =
+    Arg.(
+      required & pos 0 (some file) None
+      & info [] ~docv:"TRACE.jsonl"
+          ~doc:"A trace written by $(b,--trace) (any subcommand).")
+  in
+  let chrome_arg =
+    let doc =
+      "Convert to the Chrome trace-event JSON array (load in \
+       chrome://tracing or Perfetto; one lane per process: lane 0 is the \
+       campaign parent, lane N is forked worker N)."
+    in
+    Arg.(value & flag & info [ "chrome" ] ~doc)
+  in
+  let output_arg =
+    Arg.(
+      value & opt (some string) None
+      & info [ "o"; "output" ] ~docv:"FILE"
+          ~doc:"Write the converted trace here instead of stdout.")
+  in
+  let doc =
+    "Inspect a campaign trace: stitch statistics (spans, roots, orphans, \
+     span-id blocks) and optional conversion to Chrome trace-event format."
+  in
+  Cmd.v
+    (Cmd.info "trace-export" ~doc)
+    Term.(
+      term_result' ~usage:false
+        (const (fun i c o ->
+             match run i c o with Ok () -> Ok () | Error m -> Error m)
+        $ input_arg $ chrome_arg $ output_arg))
+
 let () =
+  (* Ctrl-C raises [Sys.Break] so in-flight work unwinds through its
+     finalizers: the trace sink truncates + renames, the metrics server
+     closes its socket, the pool reaps its workers. *)
+  Sys.catch_break true;
   let doc = "SwitchV: automated SDN switch validation with P4 models" in
   let info = Cmd.info "switchv" ~version:"1.0.0" ~doc in
   exit
     (Cmd.eval
        (Cmd.group info
           [ validate_cmd; replay_cmd; fuzz_cmd; genpackets_cmd; lint_cmd;
-            trivial_cmd; model_cmd; metrics_cmd; catalogue_cmd ]))
+            trivial_cmd; model_cmd; metrics_cmd; catalogue_cmd; top_cmd;
+            trace_export_cmd ]))

@@ -6,6 +6,7 @@ module Header = Switchv_packet.Header
 module Ast = Switchv_p4ir.Ast
 module Entry = Switchv_p4runtime.Entry
 module State = Switchv_p4runtime.State
+module Telemetry = Switchv_telemetry.Telemetry
 
 type hash_mode = Seeded of int | Fixed of int
 
@@ -286,6 +287,19 @@ let pick_weighted rt members =
   in
   pick h members
 
+(* Edge-coverage accounting. Keys live in the ambient telemetry registry as
+   plain counters so they merge across forked shards like every other
+   counter; lib/obs turns them into the coverage map. Action keys name the
+   CFG edge taken through a table ({!Switchv_analysis.Cfg.N_action}); branch
+   keys use the same pre-order ids as [Symexec]'s [branch.N.*] goal labels. *)
+let cov_action table_name ~hit aname =
+  Telemetry.incr (Telemetry.get ())
+    ("cov.action." ^ table_name ^ (if hit then ".hit." else ".miss.") ^ aname)
+
+let cov_branch id taken =
+  Telemetry.incr (Telemetry.get ())
+    ("cov.branch." ^ string_of_int id ^ if taken then ".then" else ".else")
+
 let apply_table rt table_name =
   let table = Ast.find_table_exn rt.cfg.program table_name in
   let key_values =
@@ -294,6 +308,7 @@ let apply_table rt table_name =
   let invoke label (ai : Entry.action_invocation) =
     let action = Ast.find_action_exn rt.cfg.program ai.ai_name in
     rt.trace <- (table_name, label ^ ai.ai_name) :: rt.trace;
+    cov_action table_name ~hit:true ai.ai_name;
     exec_action rt action ai.ai_args
   in
   match select_winner rt table key_values with
@@ -305,17 +320,30 @@ let apply_table rt table_name =
       let dname, dargs = table.t_default_action in
       let action = Ast.find_action_exn rt.cfg.program dname in
       rt.trace <- (table_name, "<default>" ^ dname) :: rt.trace;
+      cov_action table_name ~hit:false dname;
       exec_action rt action dargs
 
-let rec exec_control rt = function
+let rec count_ifs = function
+  | Ast.C_nop | Ast.C_stmt _ | Ast.C_table _ -> 0
+  | Ast.C_seq (a, b) -> count_ifs a + count_ifs b
+  | Ast.C_if (_, a, b) -> 1 + count_ifs a + count_ifs b
+
+(* [next] is the branch id of the first [C_if] in execution order — the
+   same pre-order numbering [Symexec.exec_control] and [Cfg.build] use
+   (incremented at each [C_if], then-arm before else-arm, ingress before
+   egress), so coverage counters line up with symbolic branch goals. *)
+let rec exec_control rt next = function
   | Ast.C_nop -> ()
   | Ast.C_stmt s -> exec_stmt rt [] s
   | Ast.C_seq (a, b) ->
-      exec_control rt a;
-      exec_control rt b
+      exec_control rt next a;
+      exec_control rt (next + count_ifs a) b
   | Ast.C_table name -> apply_table rt name
   | Ast.C_if (cond, a, b) ->
-      if eval_bexpr rt [] cond then exec_control rt a else exec_control rt b
+      let taken = eval_bexpr rt [] cond in
+      cov_branch next taken;
+      if taken then exec_control rt (next + 1) a
+      else exec_control rt (next + 1 + count_ifs a) b
 
 (* --- top level ------------------------------------------------------------ *)
 
@@ -362,8 +390,8 @@ let run cfg ~ingress_port bytes =
   let rt = fresh_rt cfg in
   write_field rt (Ast.std "ingress_port") (Bitvec.of_int ~width:16 ingress_port);
   parse_packet rt bytes;
-  exec_control rt cfg.program.p_ingress;
-  exec_control rt cfg.program.p_egress;
+  exec_control rt 1 cfg.program.p_ingress;
+  exec_control rt (1 + count_ifs cfg.program.p_ingress) cfg.program.p_egress;
   finish rt
 
 let run_packet cfg ~ingress_port packet = run cfg ~ingress_port (Packet.to_bytes packet)
@@ -380,8 +408,8 @@ let run_packet_out cfg ~egress_port packet =
       let rt = fresh_rt cfg in
       write_field rt (Ast.std "submit_to_ingress") (Bitvec.of_int ~width:1 1);
       parse_packet rt (Packet.to_bytes packet);
-      exec_control rt cfg.program.p_ingress;
-      exec_control rt cfg.program.p_egress;
+      exec_control rt 1 cfg.program.p_ingress;
+      exec_control rt (1 + count_ifs cfg.program.p_ingress) cfg.program.p_egress;
       finish rt
 
 (* Hash outcomes worth distinguishing: Fixed h selects WCMP bucket

@@ -46,6 +46,7 @@ let run_shard ?(push_p4info = true) stack config ~shard =
   let prefix = ref [] in
   let add ?context ?repro detector kind detail =
     incr n_incidents;
+    Telemetry.incr (Telemetry.get ()) "campaign.incidents";
     incidents := Report.incident ?context ?repro detector ~kind ~detail :: !incidents
   in
   (if push_p4info then begin

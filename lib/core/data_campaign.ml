@@ -175,6 +175,7 @@ let run_slice stack config ~model_cfg ~encoding ~base_incidents (offset, goals) 
   let add ?context ?repro kind detail =
     if !n_incidents < config.max_incidents then begin
       incr n_incidents;
+      Telemetry.incr tele "campaign.incidents";
       sl_incidents :=
         Report.incident ?context ?repro Report.Symbolic ~kind ~detail
         :: !sl_incidents
@@ -303,6 +304,7 @@ let run ?(push_p4info = true) ?(jobs = 1) stack config =
   let add ?context ?repro kind detail =
     if !n_incidents < config.max_incidents then begin
       incr n_incidents;
+      Telemetry.incr tele "campaign.incidents";
       incidents :=
         Report.incident ?context ?repro Report.Symbolic ~kind ~detail :: !incidents
     end
@@ -367,6 +369,9 @@ let run ?(push_p4info = true) ?(jobs = 1) stack config =
         (encoding, goals))
   in
   let prep_s = Telemetry.Clock.duration ~since:prep_start in
+  (* Denominator for live progress/ETA; counted in the parent before any
+     fork so the gauge is visible immediately and never double-counted. *)
+  Telemetry.incr ~n:(List.length goals) tele "goals.total";
   let shards = max 1 config.shards in
   let slices = Shard.partition ~shards goals in
   let base_incidents = !n_incidents in

@@ -227,6 +227,8 @@ let validate mk_stack config =
     control_stats = Some control_stats;
     data_stats = Some data_stats;
     clusters;
-    telemetry = Some (Telemetry.snapshot tele) }
+    telemetry = Some (Telemetry.snapshot tele);
+    coverage =
+      Some (Switchv_obs.Coverage.of_registry tele (Stack.program data_stack)) }
 
 let detect mk_stack config = Report.detected_by (validate mk_stack config)

@@ -1,6 +1,7 @@
 module Telemetry = Switchv_telemetry.Telemetry
 module Repro = Switchv_triage.Repro
 module Fingerprint = Switchv_triage.Fingerprint
+module Coverage = Switchv_obs.Coverage
 
 type detector = Fuzzer | Symbolic
 
@@ -85,11 +86,13 @@ type t = {
   data_stats : data_stats option;
   clusters : cluster list option;
   telemetry : Telemetry.snapshot option;
+  coverage : Coverage.t option;
 }
 
 let empty program_name =
   { program_name; control_incidents = []; data_incidents = [];
-    control_stats = None; data_stats = None; clusters = None; telemetry = None }
+    control_stats = None; data_stats = None; clusters = None; telemetry = None;
+    coverage = None }
 
 let incidents t = t.control_incidents @ t.data_incidents
 
@@ -137,6 +140,9 @@ let pp fmt t =
           | None -> ());
           Format.fprintf fmt "@,")
         clusters
+  | None -> ());
+  (match t.coverage with
+  | Some cov -> Format.fprintf fmt "%a@," Coverage.pp cov
   | None -> ());
   (match t.telemetry with
   | Some snap -> Format.fprintf fmt "%a" Telemetry.pp_snapshot snap
@@ -297,4 +303,5 @@ let to_json t =
                        ("count", Json.int c.cl_count) ])
                  clusters))
           t.clusters );
-      ("telemetry", opt Telemetry.snapshot_to_json t.telemetry) ]
+      ("telemetry", opt Telemetry.snapshot_to_json t.telemetry);
+      ("coverage", opt Coverage.to_json t.coverage) ]

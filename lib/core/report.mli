@@ -89,6 +89,11 @@ type t = {
   telemetry : Telemetry.snapshot option;
       (** Counters and latency quantiles accumulated over the run, captured
           by {!Harness.validate} when it finishes. *)
+  coverage : Switchv_obs.Coverage.t option;
+      (** Model-edge coverage map (which pipeline branches and table
+          actions the injected packets actually executed), built by
+          {!Harness.validate} from the interpreter's coverage counters.
+          Deterministic across [--jobs] settings. *)
 }
 
 val empty : string -> t

@@ -1,0 +1,74 @@
+module Ast = Switchv_p4ir.Ast
+module Cfg = Switchv_analysis.Cfg
+module Telemetry = Switchv_telemetry.Telemetry
+module Json = Switchv_telemetry.Telemetry.Json
+
+type t = {
+  entries : (string * int) list;
+  covered : int;
+  total : int;
+}
+
+let branch_key id arm = Printf.sprintf "cov.branch.%d.%s" id arm
+
+let action_key table role aname =
+  Printf.sprintf "cov.action.%s.%s.%s" table
+    (match role with Cfg.Hit -> "hit" | Cfg.Miss -> "miss")
+    aname
+
+(* The full edge key space of a program, from the same CFG the analyses
+   use: two keys per condition node (branch ids match Symexec/Interp
+   numbering) and one per table-action edge. Sorted and deduplicated — a
+   table applied from several places contributes one set of action edges,
+   which is also what the interpreter's counters observe. *)
+let edge_keys program =
+  let cfg = Cfg.build program in
+  let keys = ref [] in
+  Cfg.iter
+    (fun n ->
+      match n.Cfg.n_kind with
+      | Cfg.N_cond (id, _) ->
+          keys := branch_key id "then" :: branch_key id "else" :: !keys
+      | Cfg.N_action (t, aname, role) ->
+          keys := action_key t.Ast.t_name role aname :: !keys
+      | _ -> ())
+    cfg;
+  List.sort_uniq String.compare !keys
+
+let of_registry tele program =
+  let entries =
+    List.map (fun k -> (k, Telemetry.counter tele k)) (edge_keys program)
+  in
+  let covered = List.length (List.filter (fun (_, c) -> c > 0) entries) in
+  { entries; covered; total = List.length entries }
+
+let percent t =
+  if t.total = 0 then 100. else 100. *. float_of_int t.covered /. float_of_int t.total
+
+(* Canonical text form: sorted "key count" lines. Counts come from shard
+   decomposition that depends only on the workload, never on --jobs, so
+   this renders byte-identically for any jobs count — `make check-obs`
+   cmp-gates exactly this. *)
+let to_string t =
+  let b = Buffer.create 512 in
+  Buffer.add_string b "# switchv coverage map v1\n";
+  Printf.bprintf b "# edges %d/%d\n" t.covered t.total;
+  List.iter (fun (k, c) -> Printf.bprintf b "%s %d\n" k c) t.entries;
+  Buffer.contents b
+
+let write_file t path =
+  let tmp = path ^ ".tmp" in
+  let oc = open_out tmp in
+  output_string oc (to_string t);
+  close_out oc;
+  Sys.rename tmp path
+
+let to_json t =
+  Json.obj
+    [ ("edges_covered", Json.int t.covered);
+      ("edges_total", Json.int t.total);
+      ( "edges",
+        Json.obj (List.map (fun (k, c) -> (k, Json.int c)) t.entries) ) ]
+
+let pp fmt t =
+  Format.fprintf fmt "coverage: %d/%d edges (%.1f%%)" t.covered t.total (percent t)

@@ -1,0 +1,74 @@
+module Telemetry = Switchv_telemetry.Telemetry
+
+(* One entry per metric name, or per stable dotted prefix for dynamic
+   families (fault ids, coverage edges, per-kind incident counters,
+   solver-internal stat deltas). [Telemetry.doc_for] resolves a concrete
+   name through its longest documented prefix, so [fault.PINS-042] is
+   covered by the ["fault"] entry. The obs test suite fails when a counter
+   observed during a campaign resolves to no entry here — add the metric
+   to this table when you instrument a new one. *)
+let catalog =
+  [ ("analysis.run", "Duration of one static analysis pass.");
+    ("analysis.runs", "Static analysis passes executed.");
+    ("analysis.dead_tables_skipped", "Tables skipped by fuzzing because analysis proved them unreachable.");
+    ("analysis.diagnostics_error", "Error-severity diagnostics from static analysis.");
+    ("analysis.diagnostics_warning", "Warning-severity diagnostics from static analysis.");
+    ("analysis.diagnostics_info", "Info-severity diagnostics from static analysis.");
+    ("analysis.goals_pruned", "Symbolic goals discharged statically (dead-branch pruning) instead of solved.");
+    ("cache.hits", "Packet-cache lookups answered without solving.");
+    ("cache.misses", "Packet-cache lookups that required a solver call.");
+    ("cache.corrupt_dropped", "Cache entries dropped because their on-disk form failed to parse.");
+    ("campaign.control", "Duration of the control-plane (fuzzing) campaign.");
+    ("campaign.incidents", "Incidents recorded by the campaigns (miscompares before triage dedup).");
+    ("campaign.generation", "Duration of symbolic test-packet generation.");
+    ("campaign.testing", "Duration of the packet injection/comparison phase.");
+    ("cov.branch", "Edge coverage: executions of a pipeline conditional arm (branch id matches symbolic goal labels).");
+    ("cov.action", "Edge coverage: executions of a table action edge (hit or default/miss).");
+    ("fault", "Times the named injected fault perturbed switch behaviour.");
+    ("fuzzer.batches", "Update batches produced by the control-plane fuzzer.");
+    ("fuzzer.updates", "Total updates produced by the control-plane fuzzer.");
+    ("fuzzer.mutated_updates", "Fuzzer updates that went through a mutation pass.");
+    ("goals.total", "Symbolic coverage goals planned for this campaign.");
+    ("harness.validate", "End-to-end duration of one validation run.");
+    ("oracle.batches_judged", "Update batches compared against the P4Runtime reference oracle.");
+    ("oracle.updates_judged", "Individual updates compared against the reference oracle.");
+    ("oracle.incidents", "Oracle incidents detected, by kind.");
+    ("parallel.workers_failed", "Forked campaign workers that crashed, errored, or went silent.");
+    ("parallel.pool", "Duration of one worker-pool run (fork to last frame).");
+    ("parallel.shard", "Duration of one campaign shard inside a worker.");
+    ("smt", "Solver-internal statistic deltas accumulated per check.");
+    ("smt.check", "Duration of one SMT check.");
+    ("smt.checks", "SMT checks issued.");
+    ("smt.sat", "SMT checks that returned sat.");
+    ("smt.unsat", "SMT checks that returned unsat.");
+    ("smt.clauses_reused", "Learned clauses carried across incremental checks.");
+    ("smt.incremental_hits", "Checks served from an incrementally-reused solver state.");
+    ("smt.preprocess_eliminated", "Clauses eliminated by solver preprocessing.");
+    ("smt.solver_reseeds", "Solver restarts after an incremental state went stale.");
+    ("switch.inject", "Duration of injecting one packet into the switch stack.");
+    ("switch.packets_injected", "Test packets injected into the switch stack.");
+    ("switch.packet_out", "Duration of one controller packet-out.");
+    ("switch.server.validate", "Duration of P4Runtime server-side validation of one request.");
+    ("switch.syncd.sync", "Duration of one syncd state synchronisation.");
+    ("switch.write", "Duration of one P4Runtime write request.");
+    ("symbolic.attempts_skipped", "Goal attempts skipped because a cached packet already covered the goal.");
+    ("symbolic.encode", "Duration of symbolic encoding of the program.");
+    ("symbolic.generate", "Duration of the whole packet-generation pass.");
+    ("symbolic.goal", "Duration of solving one coverage goal.");
+    ("symbolic.goals_covered", "Coverage goals for which a witness packet was generated.");
+    ("symbolic.goals_uncoverable", "Coverage goals proven unsatisfiable.");
+    ("triage.ddmin_probes", "Delta-debugging replay probes executed during minimization.");
+    ("triage.duplicates_collapsed", "Incidents collapsed into an existing cluster by fingerprint.");
+    ("triage.minimize", "Duration of minimizing one reproducer.");
+    ("triage.updates_removed", "Updates removed from reproducers by minimization.") ]
+
+let install () = List.iter (fun (n, h) -> Telemetry.document n h) catalog
+
+let undocumented (snap : Telemetry.snapshot) =
+  install ();
+  let names =
+    List.map fst snap.Telemetry.snap_counters
+    @ List.map fst snap.Telemetry.snap_histograms
+  in
+  List.sort_uniq String.compare
+    (List.filter (fun n -> not (Telemetry.documented n)) names)

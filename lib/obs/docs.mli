@@ -1,0 +1,13 @@
+(** The metric catalog: every instrumented counter/histogram name (or
+    stable dotted prefix for dynamic families) with a one-line help
+    string, surfaced as [# HELP] in the Prometheus exposition. *)
+
+val catalog : (string * string) list
+
+val install : unit -> unit
+(** Register the catalog with {!Switchv_telemetry.Telemetry.document}.
+    Idempotent; called by the exposition renderer and the test suite. *)
+
+val undocumented : Switchv_telemetry.Telemetry.snapshot -> string list
+(** Metric names present in the snapshot that resolve to no catalog entry
+    (after [install]). The obs test fails when this is non-empty. *)

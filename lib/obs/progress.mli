@@ -1,0 +1,24 @@
+(** Periodic one-line stderr progress for a running campaign: goals
+    solved, packets injected, incidents, live coverage, and an ETA
+    extrapolated from goal completion. *)
+
+val render :
+  Switchv_telemetry.Telemetry.t ->
+  coverage:(unit -> (int * int) option) ->
+  elapsed:float ->
+  string
+(** The line itself (no trailing newline) — exposed for tests. *)
+
+type t
+
+val start :
+  ?interval:float ->
+  ?out:out_channel ->
+  Switchv_telemetry.Telemetry.t ->
+  coverage:(unit -> (int * int) option) ->
+  unit ->
+  t
+(** Emit a line every [interval] (default 2s) seconds on a background
+    thread until [stop]. *)
+
+val stop : t -> unit

@@ -1,0 +1,26 @@
+(** Dependency-free HTTP exposition: the [--metrics-port] listener
+    ([/metrics], [/healthz], [/snapshot.json]) and the GET client behind
+    [switchv top] and the CI gate.
+
+    The listener runs on one systhread and renders from in-memory
+    registry state; forked campaign workers inherit the socket fd but not
+    the thread, so only the parent answers. *)
+
+type handler = unit -> string * string
+(** Returns (content-type, body); exceptions become a 500. *)
+
+type t
+
+val start : ?host:string -> port:int -> (string * handler) list -> t
+(** Bind (default 127.0.0.1; port 0 picks an ephemeral port), listen, and
+    answer on a background thread. Routes are exact paths ("/metrics");
+    anything else is a 404. *)
+
+val port : t -> int
+(** The bound port — useful with [~port:0]. *)
+
+val stop : t -> unit
+(** Close the socket and join the serving thread. *)
+
+val fetch : ?host:string -> port:int -> string -> (string, string) result
+(** One HTTP/1.0 GET; [Ok body] on a 200, [Error message] otherwise. *)

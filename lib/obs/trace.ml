@@ -1,0 +1,187 @@
+module Telemetry = Switchv_telemetry.Telemetry
+module Json = Switchv_telemetry.Telemetry.Json
+module Jsonp = Switchv_telemetry.Jsonp
+
+(* --- atomic trace file sink -------------------------------------------------- *)
+
+(* Drop a torn final line (no terminating newline) left by a write that
+   was interrupted mid-event, so a published trace file is always whole
+   JSONL. Scans backwards in blocks; the file is truncated to just after
+   the last newline (or to empty). *)
+let truncate_to_last_newline path =
+  match Unix.openfile path [ Unix.O_RDWR ] 0o644 with
+  | exception Unix.Unix_error _ -> ()
+  | fd ->
+      Fun.protect ~finally:(fun () -> try Unix.close fd with Unix.Unix_error _ -> ())
+      @@ fun () ->
+      let size = (Unix.fstat fd).Unix.st_size in
+      if size > 0 then begin
+        let block = 4096 in
+        let buf = Bytes.create block in
+        let rec find_end pos =
+          (* [pos] is the exclusive upper bound still unscanned. *)
+          if pos = 0 then 0
+          else begin
+            let lo = max 0 (pos - block) in
+            let len = pos - lo in
+            ignore (Unix.lseek fd lo Unix.SEEK_SET);
+            let rec fill off =
+              if off < len then begin
+                let r = Unix.read fd buf off (len - off) in
+                if r > 0 then fill (off + r) else off
+              end
+              else off
+            in
+            let got = fill 0 in
+            let rec scan i =
+              if i < 0 then find_end lo
+              else if Bytes.get buf i = '\n' then lo + i + 1
+              else scan (i - 1)
+            in
+            scan (got - 1)
+          end
+        in
+        let keep = find_end size in
+        if keep <> size then Unix.ftruncate fd keep
+      end
+
+(* Stream trace events to [path ^ ".tmp"], and on the way out — normal
+   return, exception, or Sys.Break from SIGINT — flush, drop any torn
+   final line, and atomically rename into place. An interrupted campaign
+   therefore leaves either no trace file or a whole one, never a file
+   ending mid-event. *)
+let with_file_sink tele path f =
+  let tmp = path ^ ".tmp" in
+  let oc = open_out tmp in
+  let publish () =
+    (try close_out oc with Sys_error _ -> ());
+    truncate_to_last_newline tmp;
+    Sys.rename tmp path
+  in
+  match Telemetry.with_trace_channel tele oc f with
+  | v ->
+      publish ();
+      v
+  | exception e ->
+      publish ();
+      raise e
+
+(* --- reading a stitched trace ------------------------------------------------ *)
+
+type event = {
+  e_ev : string;                 (* "b" | "e" | "i" *)
+  e_span : string;
+  e_ts : float;
+  e_sid : int option;
+  e_psid : int option;
+  e_seq : int option;
+}
+
+let parse_line line =
+  match Jsonp.parse line with
+  | Error _ -> None
+  | Ok j ->
+      let str name = Option.bind (Jsonp.member name j) Jsonp.to_str in
+      let int name = Option.bind (Jsonp.member name j) Jsonp.to_int in
+      let num name = Option.bind (Jsonp.member name j) Jsonp.to_num in
+      (match (str "ev", str "span", num "ts") with
+      | Some ev, Some span, Some ts ->
+          Some
+            { e_ev = ev;
+              e_span = span;
+              e_ts = ts;
+              e_sid = int "sid";
+              e_psid = int "psid";
+              e_seq = int "seq" }
+      | _ -> None)
+
+let read_file path =
+  let ic = open_in path in
+  Fun.protect ~finally:(fun () -> close_in_noerr ic) @@ fun () ->
+  let events = ref [] in
+  let skipped = ref 0 in
+  (try
+     while true do
+       let line = input_line ic in
+       if String.trim line <> "" then
+         match parse_line line with
+         | Some e -> events := e :: !events
+         | None -> Stdlib.incr skipped
+     done
+   with End_of_file -> ());
+  (List.rev !events, !skipped)
+
+(* --- stitching --------------------------------------------------------------- *)
+
+type stitch = {
+  st_spans : int;    (* "b" events *)
+  st_roots : int;    (* spans with no parent *)
+  st_orphans : int;  (* spans whose psid resolves to no sid in the file *)
+  st_blocks : int;   (* distinct sid blocks = 1 parent + workers seen *)
+}
+
+let stitch events =
+  let sids = Hashtbl.create 256 in
+  let blocks = Hashtbl.create 8 in
+  List.iter
+    (fun e ->
+      Option.iter
+        (fun sid ->
+          if e.e_ev = "b" then Hashtbl.replace sids sid ();
+          Hashtbl.replace blocks (Telemetry.sid_block sid) ())
+        e.e_sid)
+    events;
+  let spans = List.filter (fun e -> e.e_ev = "b") events in
+  let roots = List.filter (fun e -> e.e_psid = None) spans in
+  let orphans =
+    List.filter
+      (fun e ->
+        match e.e_psid with Some p -> not (Hashtbl.mem sids p) | None -> false)
+      spans
+  in
+  { st_spans = List.length spans;
+    st_roots = List.length roots;
+    st_orphans = List.length orphans;
+    st_blocks = Hashtbl.length blocks }
+
+(* --- Chrome trace-event conversion ------------------------------------------- *)
+
+(* chrome://tracing / Perfetto "JSON Array Format": duration events (B/E)
+   plus instants, timestamps in microseconds. The process is one campaign
+   (pid 0); the thread id is the span-id block, i.e. 0 for the parent and
+   the worker ordinal for forked shards — which is exactly how execution
+   was laid out across processes. *)
+let to_chrome events =
+  let items =
+    List.filter_map
+      (fun e ->
+        let tid =
+          match e.e_sid with Some s -> Telemetry.sid_block s | None -> 0
+        in
+        let args =
+          [ ( "args",
+              Json.obj
+                ((match e.e_sid with
+                 | Some s -> [ ("sid", Json.int s) ]
+                 | None -> [])
+                @
+                match e.e_psid with
+                | Some p -> [ ("psid", Json.int p) ]
+                | None -> []) ) ]
+        in
+        let common ph =
+          Json.obj
+            ([ ("name", Json.str e.e_span); ("ph", Json.str ph);
+               ("pid", Json.int 0); ("tid", Json.int tid);
+               ("ts", Json.num (e.e_ts *. 1e6)) ]
+            @ (if ph = "i" then [ ("s", Json.str "t") ] else [])
+            @ args)
+        in
+        match e.e_ev with
+        | "b" -> Some (common "B")
+        | "e" -> Some (common "E")
+        | "i" -> Some (common "i")
+        | _ -> None)
+      events
+  in
+  Json.arr items

@@ -1,0 +1,42 @@
+(** Trace-file plumbing: the atomic [--trace FILE] sink, a reader for the
+    stitched JSONL format, stitch diagnostics, and the
+    [chrome://tracing]/Perfetto converter behind
+    [switchv trace-export --chrome]. *)
+
+val truncate_to_last_newline : string -> unit
+(** Drop a torn final line (missing [\n]) from a file, in place. No-op on
+    missing files. *)
+
+val with_file_sink :
+  Switchv_telemetry.Telemetry.t -> string -> (unit -> 'a) -> 'a
+(** Stream the registry's trace events to [path ^ ".tmp"] for the
+    duration of the thunk, then — on return, exception, or [Sys.Break] —
+    flush, drop any torn final line, and atomically rename to [path]. *)
+
+type event = {
+  e_ev : string;                 (** ["b"], ["e"], or ["i"] *)
+  e_span : string;
+  e_ts : float;
+  e_sid : int option;
+  e_psid : int option;
+  e_seq : int option;
+}
+
+val parse_line : string -> event option
+
+val read_file : string -> event list * int
+(** Events in file order, plus the count of unparseable lines. *)
+
+type stitch = {
+  st_spans : int;    (** begin events *)
+  st_roots : int;    (** spans with no parent — 1 for a stitched campaign *)
+  st_orphans : int;  (** spans whose parent id is absent from the file *)
+  st_blocks : int;   (** distinct span-id blocks (parent + workers) *)
+}
+
+val stitch : event list -> stitch
+
+val to_chrome : event list -> string
+(** Chrome trace-event JSON array: B/E duration events and instants,
+    microsecond timestamps, pid 0, tid = span-id block (0 = parent,
+    N = worker N). *)

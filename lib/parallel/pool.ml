@@ -87,6 +87,25 @@ let envelope_json ~shard ~payload ~error ~telemetry =
   Buffer.add_string b (Printf.sprintf "\"telemetry\":%s}" telemetry);
   Buffer.contents b
 
+(* Mid-shard frames: a telemetry heartbeat (delta since the previous
+   heartbeat — absorbing the stream reproduces the full export exactly)
+   and a batch of raw trace-event lines the parent re-emits into its own
+   sink. Both are distinguished from result envelopes by their key. *)
+let heartbeat_json ~telemetry = Printf.sprintf "{\"hb\":1,\"telemetry\":%s}" telemetry
+
+let trace_json lines =
+  let b = Buffer.create 1024 in
+  Buffer.add_string b "{\"trace\":[";
+  List.iteri
+    (fun i line ->
+      if i > 0 then Buffer.add_char b ',';
+      Buffer.add_char b '"';
+      Buffer.add_string b (json_escape line);
+      Buffer.add_char b '"')
+    lines;
+  Buffer.add_string b "]}";
+  Buffer.contents b
+
 let absorb_telemetry_json tele j =
   let module T = Switchv_telemetry.Telemetry in
   let module J = Switchv_triage.Jsonp in
@@ -127,20 +146,64 @@ let absorb_telemetry_json tele j =
 
 (* --- child --------------------------------------------------------------- *)
 
-let run_child wfd shards task =
-  (* Each shard runs under a fresh registry so the export written with its
-     frame is exactly that shard's delta — the parent absorbs deltas
-     additively, and merged counters come out jobs-independent. *)
+let heartbeat_s = 0.5
+
+let run_child ~sid_base ~root_psid ~trace wfd shards task =
+  (* One fresh registry per worker, seeded with its own span-id block so
+     every span id in the campaign is globally unique, and with the
+     parent's span open at fork time as the parent of its depth-0 spans.
+     Telemetry leaves the worker only as deltas — periodic heartbeats plus
+     a final delta on each result envelope — so the parent can absorb
+     every frame additively and the merged totals are exactly the full
+     export, independent of flush cadence and of --jobs. *)
   let module T = Switchv_telemetry.Telemetry in
+  let reg = T.create () in
+  T.seed_spans reg ~sid_base ~root_psid;
+  let pending = ref [] in
+  if trace then
+    T.set_sink reg (Some (fun line -> pending := line :: !pending));
+  let flush_trace () =
+    if !pending <> [] then begin
+      let lines = List.rev !pending in
+      pending := [];
+      Ipc.write_frame wfd (trace_json lines)
+    end
+  in
+  let absorbed = ref { T.ex_counters = []; ex_histograms = [] } in
+  let take_delta () =
+    let delta = T.diff_export reg ~base:!absorbed in
+    absorbed := T.export reg;
+    delta
+  in
+  let last_flush = ref (Unix.gettimeofday ()) in
+  (* Piggy-back on span finishes (packet injections, solver checks, ...):
+     no timers, and a worker wedged inside one long computation simply
+     stops heartbeating, which is what the parent's deadline is for. *)
+  T.set_tick reg
+    (Some
+       (fun () ->
+         let now = Unix.gettimeofday () in
+         if now -. !last_flush >= heartbeat_s then begin
+           last_flush := now;
+           flush_trace ();
+           let delta = take_delta () in
+           if delta.T.ex_counters <> [] || delta.T.ex_histograms <> [] then
+             Ipc.write_frame wfd
+               (heartbeat_json ~telemetry:(telemetry_export_json delta))
+         end));
   List.iter
     (fun shard ->
-      let reg = T.create () in
       let payload, error =
-        match T.with_registry reg (fun () -> task shard) with
+        match
+          T.with_registry reg (fun () ->
+              T.with_span reg "parallel.shard"
+                ~attrs:[ ("shard", string_of_int shard) ] (fun () -> task shard))
+        with
         | p -> (Some p, None)
         | exception e -> (None, Some (Printexc.to_string e))
       in
-      let telemetry = telemetry_export_json (T.export reg) in
+      flush_trace ();
+      let telemetry = telemetry_export_json (take_delta ()) in
       Ipc.write_frame wfd (envelope_json ~shard ~payload ~error ~telemetry))
     shards
 
@@ -158,6 +221,10 @@ let run ?(deadline_s = 300.) ?(parent_shards = []) ~jobs ~shards task =
   let module T = Switchv_telemetry.Telemetry in
   let module J = Switchv_triage.Jsonp in
   let tele = T.get () in
+  (* The pool span is the stitching anchor: it is open when the workers
+     fork, so every worker's [parallel.shard] root hangs off it in the
+     campaign trace. *)
+  T.with_span tele "parallel.pool" @@ fun () ->
   let outcomes =
     Array.init shards (fun s -> Lost (Printf.sprintf "shard %d not executed" s))
   in
@@ -175,14 +242,17 @@ let run ?(deadline_s = 300.) ?(parent_shards = []) ~jobs ~shards task =
      and EOF on a pipe reliably means its worker is gone. *)
   flush stdout;
   flush stderr;
+  let root_psid = T.current_sid tele in
+  let trace = T.tracing tele in
   let workers =
     List.map
       (fun shard_list ->
         let rfd, wfd = Unix.pipe ~cloexec:false () in
+        let sid_base = T.alloc_sid_block tele in
         match Unix.fork () with
         | 0 ->
             Unix.close rfd;
-            (match run_child wfd shard_list task with
+            (match run_child ~sid_base ~root_psid ~trace wfd shard_list task with
             | () -> ()
             | exception _ -> ());
             (try Unix.close wfd with Unix.Unix_error _ -> ());
@@ -247,19 +317,13 @@ let run ?(deadline_s = 300.) ?(parent_shards = []) ~jobs ~shards task =
     | Some h -> ( try Sys.set_signal Sys.sigint h with _ -> ())
     | None -> ()
   in
-  let handle_frame w frame =
-    let shard, payload, error =
-      match J.parse frame with
-      | Ok j ->
-          let shard = Option.bind (J.member "shard" j) J.to_int in
-          let payload = Option.bind (J.member "payload" j) J.to_str in
-          let error = Option.bind (J.member "error" j) J.to_str in
-          (match J.member "telemetry" j with
-          | Some tj -> absorb_telemetry_json tele tj
-          | None -> ());
-          (shard, payload, error)
-      | Error _ -> (None, None, Some "unparseable worker frame")
-    in
+  let handle_result w j =
+    let shard = Option.bind (J.member "shard" j) J.to_int in
+    let payload = Option.bind (J.member "payload" j) J.to_str in
+    let error = Option.bind (J.member "error" j) J.to_str in
+    (match J.member "telemetry" j with
+    | Some tj -> absorb_telemetry_json tele tj
+    | None -> ());
     w.delivered <- w.delivered + 1;
     match shard with
     | Some s when s >= 0 && s < shards -> (
@@ -268,6 +332,31 @@ let run ?(deadline_s = 300.) ?(parent_shards = []) ~jobs ~shards task =
         | None, Some e -> outcomes.(s) <- Lost (Printf.sprintf "worker error: %s" e)
         | None, None -> outcomes.(s) <- Lost "worker sent empty frame")
     | _ -> Printf.eprintf "switchv: worker %d sent frame with bad shard id\n%!" w.pid
+  in
+  let handle_frame w frame =
+    (* Three frame kinds share the pipe: trace-line batches and telemetry
+       heartbeats stream mid-shard; a result envelope ends a shard. Only
+       result envelopes count towards [delivered]. *)
+    match J.parse frame with
+    | Ok j when J.member "trace" j <> None ->
+        if T.tracing tele then (
+          match J.member "trace" j with
+          | Some (J.Arr lines) ->
+              List.iter
+                (fun l ->
+                  match J.to_str l with
+                  | Some line -> T.emit_raw tele line
+                  | None -> ())
+                lines
+          | _ -> ())
+    | Ok j when J.member "hb" j <> None -> (
+        match J.member "telemetry" j with
+        | Some tj -> absorb_telemetry_json tele tj
+        | None -> ())
+    | Ok j -> handle_result w j
+    | Error _ ->
+        w.delivered <- w.delivered + 1;
+        Printf.eprintf "switchv: worker %d sent an unparseable frame\n%!" w.pid
   in
   let buf = Bytes.create 65536 in
   let finish () =

@@ -6,11 +6,18 @@
     forked {e after} the caller's setup, so they inherit the parsed
     program, installed stack, and symbolic encoding copy-on-write.
 
-    Each worker streams one length-prefixed JSON frame per shard:
-    the serialized payload (or an error) plus a telemetry export taken
-    from a per-shard fresh registry, which the parent absorbs into the
-    ambient registry so counters and histograms survive the process
-    boundary.
+    Each worker runs under a fresh registry seeded with its own span-id
+    block and streams length-prefixed JSON frames back: batches of raw
+    trace-event lines (spliced into the parent's trace sink, so a
+    campaign trace is one stitched causal tree), periodic telemetry
+    heartbeats, and one result envelope per shard carrying the payload
+    (or an error). Telemetry always crosses the pipe as {e deltas}
+    (heartbeats, then a final delta on the envelope), so the parent
+    absorbs every frame additively — including full histogram bucket
+    contents, which is why sharded quantiles match single-process runs —
+    and the merged totals are independent of flush cadence and of
+    [jobs]. The pool itself runs inside a [parallel.pool] span; worker
+    [parallel.shard] root spans carry it as their parent id.
 
     Failure is containment, not abort: a crashed, erroring, or
     deadline-silent worker forfeits its undelivered shards, which come

@@ -515,6 +515,7 @@ let drop_behavior bytes =
 
 let inject t ~ingress_port bytes =
   Telemetry.with_span (Telemetry.get ()) "switch.inject" @@ fun () ->
+  Telemetry.incr (Telemetry.get ()) "switch.packets_injected";
   match Interp.run (interp_config t) ~ingress_port bytes with
   | b -> perturb_behavior t ~ingress_port bytes b
   | exception Interp.Parse_failure _ -> drop_behavior bytes

@@ -84,14 +84,30 @@ let histogram_quantile h p =
 
 type sink = string -> unit
 
+(* Span ids are partitioned into blocks so ids allocated in forked workers
+   never collide with the parent's: the parent allocates a fresh block per
+   worker ([alloc_sid_block]) and the worker seeds its registry from it
+   ([seed_spans]). Block 0 belongs to the process that created the
+   registry; [sid_block] recovers the block (= worker number) from any id,
+   which the trace tooling uses as a thread id. *)
+let sid_block_bits = 30
+
+let sid_block sid = sid lsr sid_block_bits
+
 type t = {
   mutable clock : clock;
   mutable on : bool;
   mutable sink : sink option;
   counters : (string, int ref) Hashtbl.t;
   histograms : (string, histogram) Hashtbl.t;
-  mutable span_stack : string list;  (* innermost first *)
+  mutable span_stack : (string * int) list;  (* innermost first: name, sid *)
   mutable seq : int;
+  mutable next_sid : int;
+  mutable sid_base : int;        (* first sid of this registry's block *)
+  mutable next_block : int;      (* next worker block to hand out *)
+  mutable root_psid : int option;(* parent sid for spans opened at depth 0 *)
+  mutable tick : (unit -> unit) option;
+  mutable in_tick : bool;
 }
 
 let create ?(clock = Unix.gettimeofday) () =
@@ -101,7 +117,13 @@ let create ?(clock = Unix.gettimeofday) () =
     counters = Hashtbl.create 64;
     histograms = Hashtbl.create 32;
     span_stack = [];
-    seq = 0 }
+    seq = 0;
+    next_sid = 1;
+    sid_base = 1;
+    next_block = 1;
+    root_psid = None;
+    tick = None;
+    in_tick = false }
 
 let default = create ()
 
@@ -122,7 +144,32 @@ let reset t =
   Hashtbl.reset t.counters;
   Hashtbl.reset t.histograms;
   t.span_stack <- [];
-  t.seq <- 0
+  t.seq <- 0;
+  t.next_sid <- t.sid_base
+
+(* --- span-id plumbing (fork stitching) --------------------------------------- *)
+
+let alloc_sid_block t =
+  let b = t.next_block in
+  t.next_block <- b + 1;
+  b lsl sid_block_bits
+
+let seed_spans t ~sid_base ~root_psid =
+  t.sid_base <- sid_base;
+  t.next_sid <- sid_base;
+  t.root_psid <- root_psid
+
+let current_sid t =
+  match t.span_stack with (_, sid) :: _ -> Some sid | [] -> t.root_psid
+
+let set_tick t tick = t.tick <- tick
+
+let run_tick t =
+  match t.tick with
+  | Some f when not t.in_tick ->
+      t.in_tick <- true;
+      Fun.protect ~finally:(fun () -> t.in_tick <- false) f
+  | _ -> ()
 
 (* --- counters --------------------------------------------------------------- *)
 
@@ -323,19 +370,29 @@ let attrs_field attrs =
   | [] -> []
   | attrs -> [ ("attrs", Json.obj (List.map (fun (k, v) -> (k, Json.str v)) attrs)) ]
 
-let emit t fields =
+let emit_raw t line =
   match t.sink with
   | None -> ()
-  | Some write -> write (Json.obj fields)
+  | Some write -> write line
+
+let emit t fields = emit_raw t (Json.obj fields)
 
 let parent_field t =
   match t.span_stack with
   | [] -> "null"
-  | parent :: _ -> Json.str parent
+  | (parent, _) :: _ -> Json.str parent
+
+let psid_field t =
+  match current_sid t with None -> "null" | Some sid -> Json.int sid
 
 let next_seq t =
   let s = t.seq in
   t.seq <- s + 1;
+  s
+
+let next_sid t =
+  let s = t.next_sid in
+  t.next_sid <- s + 1;
   s
 
 let with_span ?(attrs = []) t name f =
@@ -343,13 +400,15 @@ let with_span ?(attrs = []) t name f =
   else begin
     let depth = List.length t.span_stack in
     let start = t.clock () in
+    let sid = next_sid t in
     if tracing t then
       emit t
         ([ ("ev", Json.str "b"); ("span", Json.str name); ("ts", Json.num start);
+           ("sid", Json.int sid); ("psid", psid_field t);
            ("depth", Json.int depth); ("parent", parent_field t);
            ("seq", Json.int (next_seq t)) ]
         @ attrs_field attrs);
-    t.span_stack <- name :: t.span_stack;
+    t.span_stack <- (name, sid) :: t.span_stack;
     let finish () =
       (match t.span_stack with _ :: rest -> t.span_stack <- rest | [] -> ());
       let stop = t.clock () in
@@ -358,8 +417,9 @@ let with_span ?(attrs = []) t name f =
       if tracing t then
         emit t
           [ ("ev", Json.str "e"); ("span", Json.str name); ("ts", Json.num stop);
-            ("dur_s", Json.num dur); ("depth", Json.int depth);
-            ("seq", Json.int (next_seq t)) ]
+            ("sid", Json.int sid); ("dur_s", Json.num dur);
+            ("depth", Json.int depth); ("seq", Json.int (next_seq t)) ];
+      run_tick t
     in
     match f () with
     | v ->
@@ -374,6 +434,7 @@ let event ?(attrs = []) t name =
   if tracing t then
     emit t
       ([ ("ev", Json.str "i"); ("span", Json.str name); ("ts", Json.num (t.clock ()));
+         ("sid", Json.int (next_sid t)); ("psid", psid_field t);
          ("depth", Json.int (List.length t.span_stack)); ("parent", parent_field t);
          ("seq", Json.int (next_seq t)) ]
       @ attrs_field attrs)
@@ -517,6 +578,75 @@ let absorb t ex =
           if d.hd_max > h.h_max then h.h_max <- d.hd_max
         end)
       ex.ex_histograms
+
+(* Subtract a previously-taken export from the registry's current state.
+   Because counters and histogram buckets are monotonic, the difference is
+   itself a valid export; a stream of diffs absorbed in order sums to
+   exactly the full export, which is what lets workers stream telemetry
+   heartbeats mid-shard without double counting. *)
+let diff_export t ~base =
+  let cur = export t in
+  let counters =
+    List.filter_map
+      (fun (name, v) ->
+        let v0 =
+          Option.value ~default:0 (List.assoc_opt name base.ex_counters)
+        in
+        if v - v0 <> 0 then Some (name, v - v0) else None)
+      cur.ex_counters
+  in
+  let histograms =
+    List.filter_map
+      (fun (name, d) ->
+        match List.assoc_opt name base.ex_histograms with
+        | None -> Some (name, d)
+        | Some d0 ->
+            let dc = d.hd_count - d0.hd_count in
+            if dc <= 0 then None
+            else begin
+              let buckets = Array.copy d.hd_buckets in
+              let nb = min (Array.length buckets) (Array.length d0.hd_buckets) in
+              for i = 0 to nb - 1 do
+                buckets.(i) <- buckets.(i) - d0.hd_buckets.(i)
+              done;
+              Some
+                ( name,
+                  { hd_buckets = buckets;
+                    hd_count = dc;
+                    hd_sum = d.hd_sum -. d0.hd_sum;
+                    hd_max = d.hd_max } )
+            end)
+      cur.ex_histograms
+  in
+  { ex_counters = counters; ex_histograms = histograms }
+
+(* --- metric documentation ------------------------------------------------------ *)
+
+(* A process-wide (not per-registry) name -> help-string table: metric
+   names are global vocabulary, so their documentation is too. Dynamic
+   families ([fault.PINS-042], [cov.branch.7.then]) are documented once
+   under their stable dotted prefix; [doc_for] falls back to the longest
+   documented prefix. *)
+let docs : (string, string) Hashtbl.t = Hashtbl.create 64
+
+let document name help = Hashtbl.replace docs name help
+
+let doc_for name =
+  match Hashtbl.find_opt docs name with
+  | Some h -> Some h
+  | None ->
+      let rec up s =
+        match String.rindex_opt s '.' with
+        | None -> None
+        | Some i -> (
+            let s = String.sub s 0 i in
+            match Hashtbl.find_opt docs s with
+            | Some h -> Some h
+            | None -> up s)
+      in
+      up name
+
+let documented name = doc_for name <> None
 
 let snapshot_to_json snap =
   Json.obj

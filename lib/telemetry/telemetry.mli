@@ -69,6 +69,40 @@ val reset : t -> unit
 (** Drop all counters, histograms, and any in-flight span state. Trace
     sink, clock, and enabledness are kept. Tests call this between cases. *)
 
+(** {1 Span identity across forks}
+
+    Every span (and instant event) carries a numeric id ([sid]) and its
+    parent's id ([psid]) in trace output, so a trace file is a forest that
+    tooling can stitch into one causal tree. Ids are allocated from
+    per-process {e blocks}: the parent allocates a block per forked worker
+    with [alloc_sid_block] and the worker seeds its fresh registry with
+    [seed_spans], making every id in the campaign unique without any
+    parent-side rewriting. [sid_block] recovers the block number — 0 for
+    the parent, the worker's ordinal otherwise — which the Chrome trace
+    converter uses as a thread id. *)
+
+val sid_block : int -> int
+(** The block (worker ordinal) a span id was allocated from. *)
+
+val alloc_sid_block : t -> int
+(** Reserve the next id block; returns its first id. Call in the parent
+    before forking and pass the result to the worker. *)
+
+val seed_spans : t -> sid_base:int -> root_psid:int option -> unit
+(** Point a (worker) registry at its own id block, and set the parent id
+    that its depth-0 spans report — the parent's span open at fork time —
+    so worker trees hang off the campaign tree without rewriting. *)
+
+val current_sid : t -> int option
+(** Id of the innermost open span ([root_psid] when the stack is empty;
+    [None] outside any span in a non-seeded registry). *)
+
+val set_tick : t -> (unit -> unit) option -> unit
+(** Install a hook called after every span finishes (even without a trace
+    sink). Used by forked workers to piggy-back periodic trace/telemetry
+    flushes on instrumentation already present on hot paths; re-entrant
+    calls are suppressed, so the hook itself may open spans. *)
+
 (** {1 Counters} *)
 
 val incr : ?n:int -> t -> string -> unit
@@ -106,6 +140,11 @@ val set_sink : t -> sink option -> unit
 val tracing : t -> bool
 (** Whether a sink is installed — the guard instrumentation uses before
     doing any per-event string formatting. *)
+
+val emit_raw : t -> string -> unit
+(** Hand one already-rendered trace line to the sink (no-op without one).
+    The parent side of the worker pool uses this to splice worker trace
+    events — which carry their own span ids — into the campaign's file. *)
 
 val with_span : ?attrs:(string * string) list -> t -> string -> (unit -> 'a) -> 'a
 (** Time the thunk as a span named [name]. Observes the duration into the
@@ -167,6 +206,33 @@ val export : t -> export
 
 val absorb : t -> export -> unit
 (** Add the exported deltas into [t] (no-op when [t] is disabled). *)
+
+val diff_export : t -> base:export -> export
+(** The registry's current contents minus a previously-taken export.
+    Counters and buckets are monotonic, so the result is a valid export;
+    absorbing a stream of consecutive diffs reproduces the full export
+    exactly — the contract behind worker telemetry heartbeats. *)
+
+val default_bounds : float array
+(** The histogram bucket upper bounds (seconds), exposed for exposition
+    formats that need explicit bucket edges (Prometheus [le] labels). *)
+
+(** {1 Metric documentation}
+
+    A process-wide registry of metric name -> one-line help string,
+    surfaced as [# HELP] in the Prometheus exposition and enforced by the
+    obs test suite (an instrumented counter without documentation fails
+    CI). Dynamic metric families are documented once under their stable
+    dotted prefix ([fault], [cov.branch], ...). *)
+
+val document : string -> string -> unit
+(** [document name help] registers (or replaces) the help string for a
+    metric name or dotted prefix. *)
+
+val doc_for : string -> string option
+(** Exact-name lookup, then longest documented dotted-prefix fallback. *)
+
+val documented : string -> bool
 
 (** {1 JSON helpers}
 

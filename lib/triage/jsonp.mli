@@ -1,13 +1,11 @@
-(** A minimal, dependency-free JSON {e parser} — the inverse of the
-    hand-rolled emitter in {!Switchv_telemetry.Telemetry.Json}.
+(** Re-export of {!Switchv_telemetry.Jsonp}.
 
-    The corpus (and only the corpus) needs to read JSON back: every other
-    JSON consumer in the pipeline is write-only. The parser accepts the
-    full JSON grammar (RFC 8259) minus exotic number forms the emitter
-    never produces; [\uXXXX] escapes outside the ASCII range are decoded
-    as UTF-8. *)
+    The dependency-free JSON parser originally lived here for the corpus
+    loader; it moved to [lib/telemetry] (the bottom of the dependency DAG)
+    when the observability layer also needed to read JSON. This module
+    keeps the historical [Switchv_triage.Jsonp] path alive. *)
 
-type t =
+type t = Switchv_telemetry.Jsonp.t =
   | Null
   | Bool of bool
   | Num of float
@@ -16,24 +14,10 @@ type t =
   | Obj of (string * t) list
 
 val parse : string -> (t, string) result
-(** Parse one JSON value; trailing garbage (other than whitespace) is an
-    error. Error strings carry a byte offset. *)
-
-(** {1 Accessors}
-
-    Total accessors used by the corpus loader; each returns [None] on a
-    shape mismatch so record parsing can fail with one message instead of
-    raising mid-structure. *)
-
 val member : string -> t -> t option
-(** Field of an object ([None] for absent fields or non-objects). *)
-
 val to_str : t -> string option
 val to_int : t -> int option
-
 val to_num : t -> float option
-(** Any numeric value, as a float — use for durations and other
-    measurements where fractional values are expected. *)
-
 val to_bool : t -> bool option
 val to_arr : t -> t list option
+val to_string : t -> string

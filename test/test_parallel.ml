@@ -216,6 +216,39 @@ let test_pool_worker_crash_degrades () =
       | i, Pool.Lost r -> Alcotest.failf "healthy shard %d lost: %s" i r)
     result.Pool.outcomes
 
+let test_pool_merges_histogram_buckets () =
+  (* Sharded quantiles must match single-process: workers export full
+     bucket contents (as deltas), not summaries, so the merged histogram
+     is the one a sequential run would have built. *)
+  let samples s = List.init 5 (fun i -> float_of_int ((s * 5) + i + 1) *. 1e-4) in
+  let single = Telemetry.create () in
+  List.iter
+    (fun s -> List.iter (Telemetry.observe single "task.latency") (samples s))
+    [ 0; 1; 2; 3 ];
+  let tele = Telemetry.create () in
+  let result =
+    Telemetry.with_registry tele (fun () ->
+        Pool.run ~jobs:4 ~shards:4 (fun s ->
+            List.iter
+              (Telemetry.observe (Telemetry.get ()) "task.latency")
+              (samples s);
+            "ok"))
+  in
+  check_int "no failures" 0 result.Pool.workers_failed;
+  List.iter
+    (fun p ->
+      check_bool
+        (Printf.sprintf "p%02.0f matches single-process" (100. *. p))
+        true
+        (Telemetry.quantile tele "task.latency" p
+        = Telemetry.quantile single "task.latency" p))
+    [ 0.5; 0.9; 0.99 ];
+  let summary t =
+    List.assoc "task.latency" (Telemetry.snapshot t).Telemetry.snap_histograms
+  in
+  check_int "observation counts match" (summary single).Telemetry.hs_count
+    (summary tele).Telemetry.hs_count
+
 let test_pool_merges_worker_telemetry () =
   let tele = Telemetry.create () in
   let result =
@@ -338,6 +371,39 @@ let test_harness_report_identical_across_jobs () =
   check_string_list "clusters identical" (cluster_sigs r1) (cluster_sigs r4);
   check_bool "incidents present" true (Report.incidents r1 <> [])
 
+(* The coverage map is built from plain counters absorbed across workers,
+   and shard decomposition is jobs-invariant, so the canonical text form
+   must be byte-identical for any [--jobs]. [make check-obs] re-checks the
+   same property end-to-end through the CLI with [cmp]. *)
+let test_coverage_map_identical_across_jobs () =
+  let fault =
+    fault_where (function Fault.Syncd_drops_table _ -> true | _ -> false)
+  in
+  let mk () = Stack.create ~faults:[ fault ] Middleblock.program in
+  let run jobs =
+    let config =
+      { (Harness.default_config entries) with
+        control =
+          { Control_campaign.default_config with batches = 2; seed = 7; shards = 4 };
+        jobs;
+        data_shards = 4 }
+    in
+    let tele = Telemetry.create () in
+    Telemetry.with_registry tele (fun () -> Harness.validate mk config)
+  in
+  let cov_text r =
+    match r.Report.coverage with
+    | Some c -> Switchv_obs.Coverage.to_string c
+    | None -> Alcotest.fail "report carries no coverage map"
+  in
+  let r1 = run 1 in
+  let r4 = run 4 in
+  (match r1.Report.coverage with
+  | Some c -> check_bool "edges covered" true (c.Switchv_obs.Coverage.covered > 0)
+  | None -> Alcotest.fail "report carries no coverage map");
+  check_string "coverage map byte-identical jobs=1 vs jobs=4" (cov_text r1)
+    (cov_text r4)
+
 let () =
   Alcotest.run "parallel"
     [ ( "shard",
@@ -361,7 +427,9 @@ let () =
           Alcotest.test_case "worker crash degrades" `Quick
             test_pool_worker_crash_degrades;
           Alcotest.test_case "worker telemetry absorbed" `Quick
-            test_pool_merges_worker_telemetry ] );
+            test_pool_merges_worker_telemetry;
+          Alcotest.test_case "sharded quantiles match single-process" `Quick
+            test_pool_merges_histogram_buckets ] );
       ( "determinism",
         [ Alcotest.test_case "control campaign" `Quick
             test_control_sharded_matches_sequential;
@@ -370,4 +438,6 @@ let () =
           Alcotest.test_case "jobs x incremental matrix" `Quick
             test_data_jobs_incremental_matrix;
           Alcotest.test_case "harness report" `Quick
-            test_harness_report_identical_across_jobs ] ) ]
+            test_harness_report_identical_across_jobs;
+          Alcotest.test_case "coverage map" `Quick
+            test_coverage_map_identical_across_jobs ] ) ]

@@ -88,16 +88,16 @@ let test_span_nesting_and_ordering () =
   (* The fake clock ticks once per read: begin outer at 0, begin inner at 1,
      end inner at 2 (duration 1), end outer at 3 (duration 3). *)
   check_string "begin outer"
-    {|{"ev":"b","span":"outer","ts":0,"depth":0,"parent":null,"seq":0}|}
+    {|{"ev":"b","span":"outer","ts":0,"sid":1,"psid":null,"depth":0,"parent":null,"seq":0}|}
     (List.nth lines 0);
   check_string "begin inner nests under outer"
-    {|{"ev":"b","span":"inner","ts":1,"depth":1,"parent":"outer","seq":1}|}
+    {|{"ev":"b","span":"inner","ts":1,"sid":2,"psid":1,"depth":1,"parent":"outer","seq":1}|}
     (List.nth lines 1);
   check_string "end inner"
-    {|{"ev":"e","span":"inner","ts":2,"dur_s":1,"depth":1,"seq":2}|}
+    {|{"ev":"e","span":"inner","ts":2,"sid":2,"dur_s":1,"depth":1,"seq":2}|}
     (List.nth lines 2);
   check_string "end outer"
-    {|{"ev":"e","span":"outer","ts":3,"dur_s":3,"depth":0,"seq":3}|}
+    {|{"ev":"e","span":"outer","ts":3,"sid":1,"dur_s":3,"depth":0,"seq":3}|}
     (List.nth lines 3);
   List.iteri
     (fun i line ->
@@ -120,10 +120,10 @@ let test_span_attrs_and_events () =
   (match lines () with
   | [ b; i; _e ] ->
       check_string "begin event carries attrs"
-        {|{"ev":"b","span":"solve","ts":0,"depth":0,"parent":null,"seq":0,"attrs":{"goal":"entry:t1:a"}}|}
+        {|{"ev":"b","span":"solve","ts":0,"sid":1,"psid":null,"depth":0,"parent":null,"seq":0,"attrs":{"goal":"entry:t1:a"}}|}
         b;
       check_string "instant event inside the span"
-        {|{"ev":"i","span":"restart","ts":1,"depth":1,"parent":"solve","seq":1,"attrs":{"n":"3"}}|}
+        {|{"ev":"i","span":"restart","ts":1,"sid":2,"psid":1,"depth":1,"parent":"solve","seq":1,"attrs":{"n":"3"}}|}
         i
   | other -> Alcotest.failf "expected 3 events, got %d" (List.length other))
 
@@ -246,7 +246,12 @@ let test_report_to_json () =
               cl_count = 3;
               cl_example =
                 Report.incident Report.Fuzzer ~kind:"status violation" ~detail:"x" } ];
-      telemetry = Some (Telemetry.snapshot t) }
+      telemetry = Some (Telemetry.snapshot t);
+      coverage =
+        Some
+          { Switchv_obs.Coverage.entries =
+              [ ("cov.branch.1.then", 2); ("cov.branch.1.else", 0) ];
+            covered = 1; total = 2 } }
   in
   check_bool "full report JSON well-formed" true
     (Telemetry.Json.check (Report.to_json full) = Ok ())
