@@ -1,6 +1,6 @@
 # Convenience targets; everything is plain dune underneath.
 
-.PHONY: all build check test bench bench-quick micro examples lint-models replay-corpus check-parallel check-smt check-obs clean
+.PHONY: all build check test bench bench-quick micro examples lint-models lint-json replay-corpus check-parallel check-smt check-obs check-taint clean
 
 MODELS = middleblock tor wan cerberus figure2
 
@@ -16,10 +16,12 @@ check:
 	dune build @all
 	dune runtest
 	$(MAKE) lint-models
+	$(MAKE) lint-json
 	$(MAKE) replay-corpus
 	$(MAKE) check-parallel
 	$(MAKE) check-smt
 	$(MAKE) check-obs
+	$(MAKE) check-taint
 
 # Regression-corpus gate: every archived incident in the golden corpus must
 # still reproduce on a stack seeded with the fault it was captured under
@@ -125,6 +127,47 @@ lint-models:
 	for f in examples/models/*.p4; do \
 	  dune exec bin/switchv_cli.exe -- lint -f $$f --severity error || exit 1; \
 	done
+
+# Machine-readable lint gate: --json output must be well-formed JSON with
+# the stable field set, deterministic across runs (byte-identical), and
+# must carry the taint diagnostics (P4A009/P4A010) on the WCMP role model.
+lint-json:
+	dune build @all
+	rm -f /tmp/swv_lint_a.json /tmp/swv_lint_b.json
+	$(SWITCHV) lint -m middleblock --json > /tmp/swv_lint_a.json
+	$(SWITCHV) lint -m middleblock --json > /tmp/swv_lint_b.json
+	cmp /tmp/swv_lint_a.json /tmp/swv_lint_b.json
+	python3 -m json.tool /tmp/swv_lint_a.json >/dev/null
+	grep -q '"code":"P4A009"' /tmp/swv_lint_a.json
+	grep -q '"code":"P4A010"' /tmp/swv_lint_a.json
+	grep -q '"severity"' /tmp/swv_lint_a.json
+	grep -q '"loc"' /tmp/swv_lint_a.json
+	grep -q '"message"' /tmp/swv_lint_a.json
+	rm -f /tmp/swv_lint_a.json /tmp/swv_lint_b.json
+
+# Taint-oracle gate, four legs. (1) Equivalence: on a hash-free model
+# (figure2's taint summary is empty) a campaign must archive a
+# byte-identical regression corpus with the taint machinery on and off —
+# set-valued verdicts and goal classification change nothing when there is
+# nothing tainted. (2) Soundness: a clean WCMP model under seeded hashing
+# must validate with zero incidents — the set-valued oracle admits every
+# legitimate member choice, no false positives, no hash-round enumeration
+# on the fast path. (3) Sensitivity: a fault that perturbs the WCMP member
+# set (PINS-051) must still be detected — escalation keeps the oracle
+# exact. (4) Overhead/effect: the taint bench artifact must show goals
+# reclassified and SMT attempts skipped within budget.
+check-taint:
+	dune build @all
+	rm -f /tmp/swv_taint_on.jsonl /tmp/swv_taint_off.jsonl
+	! $(SWITCHV) validate -m figure2 --batches 4 \
+	  --save-corpus /tmp/swv_taint_on.jsonl >/dev/null
+	! $(SWITCHV) validate -m figure2 --batches 4 --no-taint \
+	  --save-corpus /tmp/swv_taint_off.jsonl >/dev/null
+	cmp /tmp/swv_taint_on.jsonl /tmp/swv_taint_off.jsonl
+	$(SWITCHV) validate -m middleblock --batches 4 >/dev/null
+	! $(SWITCHV) validate -m middleblock --batches 4 --fault PINS-051 >/dev/null
+	dune exec bench/main.exe -- quick taint
+	rm -f /tmp/swv_taint_on.jsonl /tmp/swv_taint_off.jsonl
 
 test:
 	dune runtest

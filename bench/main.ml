@@ -709,6 +709,107 @@ let smt_incremental_bench () =
       (Printf.sprintf "conflict reduction %.1f%% below the 30%% target" reduction)
 
 (* ------------------------------------------------------------------ *)
+(* Taint: static nondeterminism analysis driving set-valued verdicts   *)
+(* ------------------------------------------------------------------ *)
+
+let taint_bench () =
+  banner "Taint: set-valued verdicts vs. exhaustive hash-round enumeration";
+  Printf.printf
+    "Each fixture data campaign runs twice against a seeded-hash switch:\n\
+     once with the static taint pass on (hash/selector-tainted branch goals\n\
+     skipped before the SMT stage, verdicts via the set-valued oracle) and\n\
+     once with it off (every goal solved, every divergence candidate judged\n\
+     by exhaustive hash-round enumeration). Both runs must be clean — the\n\
+     set-valued fast paths may only admit behaviours enumeration admits.\n\n";
+  let tm = Telemetry.get () in
+  let fixtures =
+    [ ("middleblock", Middleblock.program,
+       if !quick then Workload.small else Workload.scaled 0.25 Workload.inst1);
+      ("wan", Wan.program,
+       if !quick then Workload.small else Workload.scaled 0.1 Workload.inst2) ]
+  in
+  Printf.printf "%-14s %6s %7s %7s %10s %9s %6s | %8s %8s\n" "fixture"
+    "goals" "tainted" "admits" "escalated" "rds.saved" "clean" "on(s)" "off(s)";
+  Printf.printf "%s\n" (String.make 92 '-');
+  let rows =
+    List.map
+      (fun (name, program, profile) ->
+        let entries = Workload.generate ~seed:42 program profile in
+        let counter n = Telemetry.counter tm n in
+        let run taint =
+          let stack = Stack.create program in
+          let t0 = now () in
+          let incidents, stats =
+            Data_campaign.run stack
+              { (Data_campaign.default_config entries) with
+                taint; test_packet_io = false }
+          in
+          (incidents, stats, now () -. t0)
+        in
+        (* Off first so the on-run's counter deltas are easy to snapshot. *)
+        let inc_off, stats_off, t_off = run false in
+        let tainted0 = counter "analysis.tainted_goals" in
+        let admits0 = counter "oracle.dataplane_set_admits" in
+        let esc0 = counter "oracle.dataplane_escalations" in
+        let saved0 = counter "oracle.enum_rounds_saved" in
+        let inc_on, stats_on, t_on = run true in
+        let tainted = counter "analysis.tainted_goals" - tainted0 in
+        let admits = counter "oracle.dataplane_set_admits" - admits0 in
+        let escalated = counter "oracle.dataplane_escalations" - esc0 in
+        let saved = counter "oracle.enum_rounds_saved" - saved0 in
+        let clean = inc_on = [] && inc_off = [] in
+        let skipped = stats_off.Report.ds_goals - stats_on.Report.ds_goals in
+        Printf.printf "%-14s %6d %7d %7d %10d %9d %6b | %7.2fs %7.2fs\n%!" name
+          stats_off.Report.ds_goals tainted admits escalated saved clean t_on
+          t_off;
+        (name, stats_off.Report.ds_goals, tainted, skipped, admits, escalated,
+         saved, clean, t_on, t_off))
+      fixtures
+  in
+  let tot f = List.fold_left (fun a r -> a + f r) 0 rows in
+  let tainted = tot (fun (_, _, t, _, _, _, _, _, _, _) -> t) in
+  let skipped = tot (fun (_, _, _, s, _, _, _, _, _, _) -> s) in
+  let saved = tot (fun (_, _, _, _, _, _, s, _, _, _) -> s) in
+  let all_clean = List.for_all (fun (_, _, _, _, _, _, _, c, _, _) -> c) rows in
+  let totf f = List.fold_left (fun a r -> a +. f r) 0. rows in
+  let t_on = totf (fun (_, _, _, _, _, _, _, _, t, _) -> t) in
+  let t_off = totf (fun (_, _, _, _, _, _, _, _, _, t) -> t) in
+  let delta_pct = if t_off = 0. then 0. else 100. *. (t_off -. t_on) /. t_off in
+  Printf.printf "%s\n" (String.make 92 '-');
+  Printf.printf
+    "goals reclassified tainted: %d (= SMT attempts skipped: %d), hash-round \
+     executions saved: %d\nwall-clock: %.2fs with taint vs %.2fs without \
+     (%.1f%% delta); clean on every fixture: %b\n"
+    tainted skipped saved t_on t_off delta_pct all_clean;
+  (* Snapshot for trend tracking; committed as BENCH_taint.json. *)
+  let json =
+    let row (name, goals, tainted, skipped, admits, escalated, saved, clean,
+             t_on, t_off) =
+      Printf.sprintf
+        "    {\"fixture\": %S, \"goals\": %d, \"tainted_goals\": %d, \
+         \"smt_attempts_skipped\": %d, \"set_admits\": %d, \
+         \"escalations\": %d, \"enum_rounds_saved\": %d, \"clean\": %b, \
+         \"time_taint_s\": %.3f, \"time_enum_s\": %.3f}"
+        name goals tainted skipped admits escalated saved clean t_on t_off
+    in
+    Printf.sprintf
+      "{\n  \"artifact\": \"taint\",\n  \"fixtures\": [\n%s\n  ],\n  \
+       \"total_tainted_goals\": %d,\n  \"total_smt_attempts_skipped\": %d,\n  \
+       \"total_enum_rounds_saved\": %d,\n  \"wallclock_delta_pct\": %.1f,\n  \
+       \"clean\": %b\n}\n"
+      (String.concat ",\n" (List.map row rows))
+      tainted skipped saved delta_pct all_clean
+  in
+  let oc = open_out "BENCH_taint.json" in
+  output_string oc json;
+  close_out oc;
+  Printf.printf "wrote BENCH_taint.json\n";
+  if not all_clean then
+    failwith "set-valued verdicts reported incidents a clean switch should not";
+  if tainted = 0 then failwith "taint pass reclassified no goals on WCMP models";
+  if saved = 0 then failwith "set-valued verdicts saved no hash-round executions"
+
+(* ------------------------------------------------------------------ *)
 (* Triage: ddmin shrinkage and fingerprint dedup                       *)
 (* ------------------------------------------------------------------ *)
 
@@ -1008,7 +1109,7 @@ let () =
   let args = List.filter (fun a -> a <> "quick") args in
   let all =
     [ "table1"; "table2"; "table3"; "figure7"; "ablations"; "triage"; "parallel";
-      "smt_incremental"; "obs_overhead" ]
+      "smt_incremental"; "taint"; "obs_overhead" ]
   in
   let selected = if args = [] then all else args in
   let t0 = now () in
@@ -1027,6 +1128,7 @@ let () =
       | "triage" -> triage_bench ()
       | "parallel" -> parallel_bench ()
       | "smt_incremental" -> smt_incremental_bench ()
+      | "taint" -> taint_bench ()
       | "obs_overhead" -> obs_overhead_bench ()
       | "micro" -> micro ()
       | other ->
@@ -1034,7 +1136,7 @@ let () =
           Printf.printf
             "unknown artifact %S (use \
              table1|table2|table3|figure7|ablations|triage|parallel|\
-             smt_incremental|obs_overhead|micro|quick)\n"
+             smt_incremental|taint|obs_overhead|micro|quick)\n"
             other);
       if !known then
         Printf.printf "\ntelemetry %s %s\n" artifact

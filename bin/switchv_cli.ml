@@ -183,6 +183,16 @@ let no_incremental_arg =
   in
   Arg.(value & flag & info [ "no-incremental" ] ~doc)
 
+let no_taint_arg =
+  let doc =
+    "Disable the static taint analysis: solve every branch goal (even \
+     those whose path condition crosses a hash/selector-tainted branch) \
+     and always enumerate hash rounds in the data-plane oracle instead \
+     of using set-valued verdicts. On hash-free models the report is \
+     byte-identical either way (see $(b,make check-taint))."
+  in
+  Arg.(value & flag & info [ "no-taint" ] ~doc)
+
 (* Live exposition for a running validate: the three HTTP routes every
    scraper/operator tool needs. Coverage is recomputed per request from
    the ambient registry — counters absorbed from workers are already in
@@ -217,7 +227,8 @@ let exposition_routes tele program =
 
 let validate_cmd =
   let run program seed scale fault_ids batches cache_dir trace_file corpus_file
-      minimize jobs shards no_incremental metrics_port coverage_out progress =
+      minimize jobs shards no_incremental no_taint metrics_port coverage_out
+      progress =
     let entries = workload program scale seed in
     let faults = resolve_faults program entries fault_ids in
     let mk () = Stack.create ~faults program in
@@ -228,7 +239,8 @@ let validate_cmd =
         triage = Some { Harness.default_triage with minimize };
         jobs;
         data_shards = shards;
-        incremental = not no_incremental }
+        incremental = not no_incremental;
+        taint = not no_taint }
     in
     let tele = Telemetry.get () in
     let server =
@@ -317,13 +329,14 @@ let validate_cmd =
     (Cmd.info "validate" ~doc)
     Term.(
       term_result' ~usage:false
-        (const (fun p s sc f b c t cf mz j sh ni mp co pr ->
-             match run p s sc f b c t cf mz j sh ni mp co pr with
+        (const (fun p s sc f b c t cf mz j sh ni nt mp co pr ->
+             match run p s sc f b c t cf mz j sh ni nt mp co pr with
              | Ok () -> Ok ()
              | Error (_, m) -> Error m)
         $ model_arg $ seed_arg $ scale_arg $ faults_arg $ batches_arg $ cache_dir_arg
         $ trace_file_arg $ save_corpus_arg $ minimize_arg $ jobs_arg $ shards_arg
-        $ no_incremental_arg $ metrics_port_arg $ coverage_out_arg $ progress_arg))
+        $ no_incremental_arg $ no_taint_arg $ metrics_port_arg $ coverage_out_arg
+        $ progress_arg))
 
 (* --- replay ---------------------------------------------------------------- *)
 
@@ -424,9 +437,9 @@ let genpackets_cmd =
     let goals =
       if no_prune then goals
       else
-        Packetgen.prune_goals
-          (Analysis.facts ~check_restrictions:false program)
-          goals
+        let facts = Analysis.facts ~check_restrictions:false program in
+        Packetgen.prune_tainted_goals facts.Analysis.f_taint
+          (Packetgen.prune_goals facts goals)
     in
     let cache = Option.map Cache.on_disk cache_dir in
     let result =
@@ -464,8 +477,9 @@ let genpackets_cmd =
       & info [ "no-prune" ]
           ~doc:
             "Keep coverage goals the static analysis proved uncoverable \
-             (dead tables, statically-decided branches) instead of pruning \
-             them before the SMT stage.")
+             (dead tables, statically-decided branches) or classified as \
+             hash/selector-tainted instead of pruning them before the SMT \
+             stage.")
   in
   Cmd.v
     (Cmd.info "genpackets" ~doc)
@@ -476,17 +490,52 @@ let genpackets_cmd =
 (* --- lint ------------------------------------------------------------------------ *)
 
 let lint_cmd =
-  let run program min_severity no_restrictions =
+  let run program min_severity no_restrictions json =
     let report =
       Analysis.run ~check_restrictions:(not no_restrictions) program
     in
-    let shown = Diagnostics.filter ~min_severity report.Analysis.r_diagnostics in
-    List.iter (fun d -> Format.printf "%a@." Diagnostics.pp d) shown;
-    Format.printf "%s: %a@." program.Ast.p_name Diagnostics.pp_summary
-      report.Analysis.r_diagnostics;
-    if Diagnostics.has_errors report.Analysis.r_diagnostics then
-      Error (false, "lint errors reported")
+    let all = report.Analysis.r_diagnostics in
+    let shown = Diagnostics.filter ~min_severity all in
+    if json then begin
+      (* Machine-readable rendering with stable field names. The
+         diagnostics list is already deterministically sorted and deduped
+         by Analysis.run, so the output is byte-stable across runs. *)
+      let module Json = Telemetry.Json in
+      let diag_to_json (d : Diagnostics.t) =
+        Json.obj
+          [ ("code", Json.str d.Diagnostics.d_code);
+            ( "severity",
+              Json.str
+                (Diagnostics.severity_to_string d.Diagnostics.d_severity) );
+            ("loc", Json.str d.Diagnostics.d_loc);
+            ("message", Json.str d.Diagnostics.d_message) ]
+      in
+      print_string
+        (Json.obj
+           [ ("program", Json.str program.Ast.p_name);
+             ("diagnostics", Json.arr (List.map diag_to_json shown));
+             ("errors", Json.int (Diagnostics.count Diagnostics.Error all));
+             ("warnings", Json.int (Diagnostics.count Diagnostics.Warning all));
+             ("infos", Json.int (Diagnostics.count Diagnostics.Info all)) ]);
+      print_newline ()
+    end
+    else begin
+      List.iter (fun d -> Format.printf "%a@." Diagnostics.pp d) shown;
+      Format.printf "%s: %a@." program.Ast.p_name Diagnostics.pp_summary all
+    end;
+    if Diagnostics.has_errors all then Error (false, "lint errors reported")
     else Ok ()
+  in
+  let json_arg =
+    Arg.(
+      value & flag
+      & info [ "json" ]
+          ~doc:
+            "Emit one JSON object instead of text: \
+             $(b,{\"program\",\"diagnostics\":[{\"code\",\"severity\",\"loc\",\"message\"}],\
+             \"errors\",\"warnings\",\"infos\"}). Diagnostics are \
+             deterministically sorted; $(b,--severity) filters the list \
+             but the totals always cover every finding.")
   in
   let severity_arg =
     let doc =
@@ -520,9 +569,9 @@ let lint_cmd =
     (Cmd.info "lint" ~doc)
     Term.(
       term_result' ~usage:false
-        (const (fun p sev nr ->
-             match run p sev nr with Ok () -> Ok () | Error (_, m) -> Error m)
-        $ model_arg $ severity_arg $ no_restrictions))
+        (const (fun p sev nr j ->
+             match run p sev nr j with Ok () -> Ok () | Error (_, m) -> Error m)
+        $ model_arg $ severity_arg $ no_restrictions $ json_arg))
 
 (* --- trivial --------------------------------------------------------------------- *)
 

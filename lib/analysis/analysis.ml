@@ -6,11 +6,12 @@ type facts = {
   f_unapplied_tables : string list;
   f_dead_branch_labels : string list;
   f_unsat_restriction_tables : string list;
+  f_taint : Taint.summary;
 }
 
 let no_facts =
   { f_dead_tables = []; f_unapplied_tables = []; f_dead_branch_labels = [];
-    f_unsat_restriction_tables = [] }
+    f_unsat_restriction_tables = []; f_taint = Taint.empty }
 
 type report = { r_diagnostics : Diagnostics.t list; r_facts : facts }
 
@@ -117,6 +118,29 @@ let run ?(check_restrictions = true) (program : Ast.program) =
               (Diagnostics.warning "P4A008" ~loc:("action " ^ a.Ast.a_name)
                  "action is referenced by no live table"))
         program.Ast.p_actions;
+      (* Nondeterminism taint (P4A009 / P4A010). Warnings, not errors:
+         matching on a hash-derived value is exactly what WCMP pipelines
+         do on purpose — the findings tell the oracle (and the user) where
+         deterministic prediction is impossible, not that the model is
+         broken. *)
+      let taint = Taint.analyze cfg in
+      List.iter
+        (fun (tname, keys) ->
+          add
+            (Diagnostics.warning "P4A009" ~loc:("table " ^ tname)
+               "table matches on nondeterministic (hash/selector-tainted) \
+                key%s %s"
+               (if List.length keys = 1 then "" else "s")
+               (String.concat ", " keys)))
+        taint.Taint.s_tainted_keys;
+      (match List.assoc_opt "std.egress_port" taint.Taint.s_exit_fields with
+      | Some srcs ->
+          add
+            (Diagnostics.warning "P4A010" ~loc:"std.egress_port"
+               "egress-port selection depends on nondeterministic sources \
+                (%s); the oracle uses set-valued verdicts here"
+               (String.concat ", " srcs))
+      | None -> ());
       (* Entry-restriction satisfiability (P4A004). *)
       let unsat =
         if check_restrictions then Restriction.unsat_tables program else []
@@ -139,7 +163,7 @@ let run ?(check_restrictions = true) (program : Ast.program) =
         r_facts =
           { f_dead_tables = dead_tables; f_unapplied_tables = unapplied;
             f_dead_branch_labels = dead_labels;
-            f_unsat_restriction_tables = unsat } })
+            f_unsat_restriction_tables = unsat; f_taint = taint } })
 
 let facts ?check_restrictions program =
   (run ?check_restrictions program).r_facts

@@ -24,6 +24,11 @@ type facts = {
           conditionals plus both arms of unreachable ones *)
   f_unsat_restriction_tables : string list;
       (** entry restriction provably unsatisfiable ([P4A004]) *)
+  f_taint : Taint.summary;
+      (** nondeterminism taint ([P4A009] / [P4A010]): tainted branches,
+          output fields, keys and egress writers — consumed by
+          [Packetgen.prune_tainted_goals] and the set-valued data-plane
+          oracle *)
 }
 
 val no_facts : facts

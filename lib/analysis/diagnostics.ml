@@ -48,9 +48,21 @@ let dedup ds =
       end)
     ds
 
+(* Severity first (errors on top), then (loc, code, message): a total,
+   input-order-independent key, so lint output is deterministic across
+   OCaml versions and discovery orders. The sort is stable, but stability
+   only matters for exact duplicates — which [dedup] removes. *)
 let sort ds =
   List.stable_sort
-    (fun a b -> compare (severity_rank b.d_severity) (severity_rank a.d_severity))
+    (fun a b ->
+      let c = compare (severity_rank b.d_severity) (severity_rank a.d_severity) in
+      if c <> 0 then c
+      else
+        let c = compare a.d_loc b.d_loc in
+        if c <> 0 then c
+        else
+          let c = compare a.d_code b.d_code in
+          if c <> 0 then c else compare a.d_message b.d_message)
     ds
 
 let pp fmt d =

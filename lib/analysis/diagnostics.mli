@@ -27,7 +27,14 @@
     - [P4A008] {e warning} — an action is referenced by no live table.
       Never-applied tables ([P4A007]) still count as referencing their
       actions (the control plane may exercise them); statically-dead
-      tables ([P4A003]) do not. *)
+      tables ([P4A003]) do not.
+    - [P4A009] {e warning} — a table matches on a value tainted by a
+      nondeterminism source (an [E_hash] result or an action-selector
+      member choice): which entry wins cannot be predicted
+      deterministically.
+    - [P4A010] {e warning} — taint reaches the egress specification
+      ([std.egress_port] may hold a tainted value at pipeline exit): the
+      oracle falls back to set-valued verdicts for affected packets. *)
 
 type severity = Error | Warning | Info
 
@@ -65,8 +72,9 @@ val dedup : t list -> t list
     first-occurrence order. *)
 
 val sort : t list -> t list
-(** Stable sort by descending severity; findings of equal severity keep
-    their discovery order. *)
+(** Sort by (descending severity, location, code, message) — a total key,
+    so the order is deterministic regardless of discovery order or OCaml
+    version. *)
 
 val pp : Format.formatter -> t -> unit
 (** One line: [error[P4A001] table t: message]. *)

@@ -1,0 +1,65 @@
+(** Taint dataflow for nondeterminism.
+
+    A forward dataflow over {!Cfg} (an instance of {!Dataflow.Forward})
+    whose lattice maps header/metadata fields to sets of nondeterminism
+    {e sources}:
+
+    - ["hash:<name>"] — the value of an [E_hash] expression;
+    - ["selector:<table>"] — the member choice of a one-shot
+      action-selector (WCMP) table.
+
+    Propagation covers direct assignment, table keys (the winning entry —
+    and hence the action and its [E_param] arguments — depends on the key
+    values, so every assignment in an applied action inherits the key
+    taint), and implicit flow through conditionals whose condition is
+    tainted (everything assigned inside either arm is control-dependent on
+    the taint). A strong update from an untainted expression {e sanitizes}:
+    assigning a constant kills the taint, exactly as in the concrete
+    interpreter.
+
+    The summary is keyed by the same Symexec-compatible branch ids the
+    symbolic engine and the interpreter's coverage counters use, so
+    consumers can classify symbolic goals
+    ({!Switchv_symbolic.Packetgen.prune_tainted_goals}) and build
+    set-valued oracle verdicts without re-running the encoder. *)
+
+module Ast = Switchv_p4ir.Ast
+
+type summary = {
+  s_branches : (int * string list) list;
+      (** conditionals whose condition reads a tainted value: branch id
+          (Symexec numbering) -> sorted source labels *)
+  s_branch_labels : string list;
+      (** Symexec trace labels ([branch.N.then] / [branch.N.else]) of every
+          arm whose path condition crosses taint: both arms of tainted
+          conditionals plus both arms of conditionals nested inside a
+          tainted region *)
+  s_exit_fields : (string * string list) list;
+      (** fields ("hdr.field") that may hold a tainted value at pipeline
+          exit, with their sorted sources — the fields a byte-level output
+          comparison must mask *)
+  s_tainted_keys : (string * string list) list;
+      (** tables matching on tainted values ([P4A009]): table name ->
+          sorted offending key names *)
+  s_egress_writers : (string * string) list;
+      (** (table, action) pairs whose action assigns [std.egress_port]
+          under taint — the oracle derives its egress-port candidate set
+          from the installed entries of these tables *)
+  s_valid_tainted : string list;
+      (** headers whose validity is set or cleared under taint (encap
+          chosen by a tainted key): the deparsed wire format itself is
+          nondeterministic, so byte masking is not enough *)
+}
+
+val empty : summary
+(** The all-empty summary: nothing is tainted (hash-free programs). *)
+
+val taint_free : summary -> bool
+
+val exit_tainted : summary -> string -> bool
+(** [exit_tainted s "std.egress_port"] — is the field possibly tainted at
+    pipeline exit? *)
+
+val analyze : Cfg.t -> summary
+(** Run the pass to fixpoint (an outer iteration feeds implicit-flow taint
+    from tainted conditionals back into the dataflow until stable). *)

@@ -386,13 +386,30 @@ let finish rt =
     b_packet = out_bytes;
     b_trace = List.rev rt.trace }
 
-let run cfg ~ingress_port bytes =
+let run_rt cfg ~ingress_port bytes =
   let rt = fresh_rt cfg in
   write_field rt (Ast.std "ingress_port") (Bitvec.of_int ~width:16 ingress_port);
   parse_packet rt bytes;
   exec_control rt 1 cfg.program.p_ingress;
   exec_control rt (1 + count_ifs cfg.program.p_ingress) cfg.program.p_egress;
-  finish rt
+  rt
+
+let run cfg ~ingress_port bytes = finish (run_rt cfg ~ingress_port bytes)
+
+type run_info = {
+  ri_behavior : behavior;
+  ri_hash_calls : int;
+  ri_valid : string list;
+}
+
+let run_info cfg ~ingress_port bytes =
+  let rt = run_rt cfg ~ingress_port bytes in
+  { ri_behavior = finish rt;
+    ri_hash_calls = rt.hash_calls;
+    ri_valid =
+      List.filter_map
+        (fun (h : Header.t) -> if is_valid rt h.name then Some h.name else None)
+        cfg.program.p_headers }
 
 let run_packet cfg ~ingress_port packet = run cfg ~ingress_port (Packet.to_bytes packet)
 

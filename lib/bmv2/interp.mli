@@ -57,6 +57,18 @@ exception Parse_failure of string
 val run : config -> ingress_port:int -> string -> behavior
 (** Process raw wire bytes arriving on [ingress_port]. *)
 
+(** {!run} plus the execution facts a set-valued oracle needs: whether the
+    run consulted a hash at all (if not, the behaviour is deterministic
+    and needs no enumeration), and which headers were valid at deparse
+    (the wire-format layout, for masked byte comparison). *)
+type run_info = {
+  ri_behavior : behavior;
+  ri_hash_calls : int;    (** hash applications during the run *)
+  ri_valid : string list; (** valid headers at deparse, in wire order *)
+}
+
+val run_info : config -> ingress_port:int -> string -> run_info
+
 val run_packet : config -> ingress_port:int -> Packet.t -> behavior
 (** Convenience: serialises the packet first. *)
 

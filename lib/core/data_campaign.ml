@@ -12,6 +12,8 @@ module Packet = Switchv_packet.Packet
 module Term = Switchv_smt.Term
 module Telemetry = Switchv_telemetry.Telemetry
 module Repro = Switchv_triage.Repro
+module Dataplane = Switchv_oracle.Dataplane
+module Taint = Switchv_analysis.Taint
 module Shard = Switchv_parallel.Shard
 module Pool = Switchv_parallel.Pool
 module Jsonp = Switchv_triage.Jsonp
@@ -27,13 +29,14 @@ type config = {
   test_packet_io : bool;
   shards : int;
   incremental : bool;
+  taint : bool;
 }
 
 let default_config entries =
   { entries; ports = [ 1; 2; 3; 4 ]; extra_goals = (fun _ -> []);
     include_branch_goals = true; prune_dead_goals = true;
     cache = None; max_incidents = 25; test_packet_io = true; shards = 1;
-    incremental = true }
+    incremental = true; taint = true }
 
 let exploratory_goals (enc : Symexec.encoding) =
   let ether_type = Term.var (Symexec.field_var ~header:"ethernet" ~field:"ether_type") 16 in
@@ -168,7 +171,7 @@ type slice_result = {
    [max_incidents]. Since each slice keeps at least as many incidents as
    any merged prefix can demand of it, truncation yields exactly the
    sequential campaign's list. *)
-let run_slice stack config ~model_cfg ~encoding ~base_incidents (offset, goals) =
+let run_slice stack config ~oracle ~encoding ~base_incidents (offset, goals) =
   let tele = Telemetry.get () in
   let sl_incidents = ref [] in
   let n_incidents = ref base_incidents in
@@ -214,19 +217,20 @@ let run_slice stack config ~model_cfg ~encoding ~base_incidents (offset, goals) 
               in
               let switch_b = Stack.inject stack ~ingress_port:tp.tp_port bytes in
               match
-                Interp.enumerate_behaviors model_cfg ~ingress_port:tp.tp_port bytes
+                Dataplane.judge oracle ~ingress_port:tp.tp_port ~bytes
+                  ~switch:switch_b
               with
               | exception Interp.Parse_failure msg ->
                   add "model parse failure" ~context ~repro
                     (Printf.sprintf "goal %s generated an unparseable packet: %s"
                        tp.tp_goal msg)
-              | model_bs ->
-                  if not (List.exists (Interp.behavior_equal switch_b) model_bs) then
-                    add "behavior divergence" ~context ~repro
-                      (Format.asprintf
-                         "goal %s (port %d): switch behaved %a, model admits %a"
-                         tp.tp_goal tp.tp_port Interp.pp_behavior switch_b
-                         pp_behavior_set model_bs))
+              | Dataplane.Admitted -> ()
+              | Dataplane.Diverged model_bs ->
+                  add "behavior divergence" ~context ~repro
+                    (Format.asprintf
+                       "goal %s (port %d): switch behaved %a, model admits %a"
+                       tp.tp_goal tp.tp_port Interp.pp_behavior switch_b
+                       pp_behavior_set model_bs))
           | Some _ -> ())
         generated.packets);
   let sl_test_s = Telemetry.Clock.duration ~since:test_start in
@@ -339,7 +343,7 @@ let run ?(push_p4info = true) ?(jobs = 1) stack config =
   (* Generation prelude — encoding, goal construction, static pruning — runs
      once in the parent; forked workers inherit the result copy-on-write. *)
   let prep_start = Telemetry.Clock.now () in
-  let encoding, goals =
+  let encoding, goals, tainted_goals, taint_summary =
     Telemetry.with_span tele "campaign.generation" (fun () ->
         let encoding = Symexec.encode (Stack.program stack) config.entries in
         (* Prefer forwarded packets: a goal packet that both sides drop (e.g.
@@ -358,16 +362,32 @@ let run ?(push_p4info = true) ?(jobs = 1) stack config =
            queries without changing any divergence result. The BDD
            restriction check is skipped: it finds uninstallable tables,
            which cannot affect goals over *installed* entries. *)
+        let facts =
+          if config.prune_dead_goals || config.taint then
+            Switchv_analysis.Analysis.facts ~check_restrictions:false
+              (Stack.program stack)
+          else Switchv_analysis.Analysis.no_facts
+        in
         let goals =
-          if config.prune_dead_goals then
-            Packetgen.prune_goals
-              (Switchv_analysis.Analysis.facts ~check_restrictions:false
-                 (Stack.program stack))
-              goals
+          if config.prune_dead_goals then Packetgen.prune_goals facts goals
           else goals
         in
-        (encoding, goals))
+        (* Taint classification: goals whose path condition crosses a
+           hash/selector-tainted branch would pin a hash outcome the
+           concrete run is free to ignore; drop them before the solver.
+           The same summary powers the set-valued oracle below. *)
+        let taint_summary =
+          if config.taint then facts.Switchv_analysis.Analysis.f_taint
+          else Taint.empty
+        in
+        let before_taint = List.length goals in
+        let goals =
+          if config.taint then Packetgen.prune_tainted_goals taint_summary goals
+          else goals
+        in
+        (encoding, goals, before_taint - List.length goals, taint_summary))
   in
+  let oracle = Dataplane.create model_cfg ~taint:taint_summary in
   let prep_s = Telemetry.Clock.duration ~since:prep_start in
   (* Denominator for live progress/ETA; counted in the parent before any
      fork so the gauge is visible immediately and never double-counted. *)
@@ -380,12 +400,12 @@ let run ?(push_p4info = true) ?(jobs = 1) stack config =
       (* Sequential path: the identical decomposition, run in shard order
          in-process (no serialization round-trip). *)
       Array.to_list
-        (Array.map (run_slice stack config ~model_cfg ~encoding ~base_incidents)
+        (Array.map (run_slice stack config ~oracle ~encoding ~base_incidents)
            slices)
     else begin
       let task s =
         serialize_slice
-          (run_slice stack config ~model_cfg ~encoding ~base_incidents slices.(s))
+          (run_slice stack config ~oracle ~encoding ~base_incidents slices.(s))
       in
       let pool = Pool.run ~jobs ~shards task in
       List.filter_map
@@ -493,6 +513,7 @@ let run ?(push_p4info = true) ?(jobs = 1) stack config =
       ds_goals = List.length goals;
       ds_covered = covered;
       ds_uncoverable = uncoverable;
+      ds_tainted_goals = tainted_goals;
       ds_packets_tested = tested;
       ds_generation_time = gen_time;
       ds_testing_time = test_time;

@@ -2,7 +2,10 @@
     on the switch, generate test packets with p4-symbolic, run each packet
     through the switch and through the reference P4 interpreter, and check
     that the switch's behaviour lies in the set of behaviours the model
-    admits (round-robin hash enumeration handles WCMP non-determinism).
+    admits. WCMP/hash non-determinism is handled by the set-valued
+    {!Switchv_oracle.Dataplane} oracle (taint-masked comparison with
+    candidate egress sets, escalating to round-robin hash enumeration
+    when the fast checks cannot decide).
 
     Also exercises the controller packet-I/O contract: packet-out to every
     port, and submit-to-ingress processing. *)
@@ -39,6 +42,15 @@ type config = {
           default). Canonical model extraction makes the generated packets
           identical either way — see {!Packetgen.generate} — so this knob
           only trades solver work, never results. *)
+  taint : bool;
+      (** Use the static taint summary (on by default): branch goals whose
+          path condition crosses a hash/selector-tainted branch are
+          classified [Tainted] and skipped ([analysis.tainted_goals],
+          [ds_tainted_goals]), and the packet verdict goes through the
+          set-valued {!Switchv_oracle.Dataplane} oracle instead of always
+          enumerating hash rounds. Escalation makes the verdicts
+          fault-equivalent; on hash-free programs, incidents and corpus
+          output are byte-identical either way. *)
 }
 
 val default_config : Entry.t list -> config

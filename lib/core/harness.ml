@@ -27,6 +27,7 @@ type config = {
   jobs : int;
   data_shards : int;
   incremental : bool;
+  taint : bool;
 }
 
 (* Entries readable from a switch come back in insertion order of the
@@ -73,7 +74,8 @@ let default_config entries =
     triage = Some default_triage;
     jobs = 1;
     data_shards = 1;
-    incremental = true }
+    incremental = true;
+    taint = true }
 
 (* Shrink a reproducer to a 1-minimal input: each ddmin probe replays a
    candidate against a freshly provisioned stack. Sound because a clean
@@ -192,6 +194,7 @@ let validate mk_stack config =
       max_incidents = config.max_incidents;
       shards = config.data_shards;
       incremental = config.incremental;
+      taint = config.taint;
       extra_goals =
         (if config.exploratory then Data_campaign.exploratory_goals else fun _ -> []) }
   in
@@ -206,7 +209,8 @@ let validate mk_stack config =
         { (Data_campaign.default_config fuzzed_entries) with
           max_incidents = config.max_incidents;
           test_packet_io = false;
-          incremental = config.incremental }
+          incremental = config.incremental;
+          taint = config.taint }
       in
       let incidents, _ = Data_campaign.run stack cfg in
       List.map

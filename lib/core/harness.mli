@@ -53,6 +53,10 @@ type config = {
       (** Incremental SMT pipeline for packet generation (on by default;
           see {!Data_campaign.config}[.incremental]). Results are
           identical either way. *)
+  taint : bool;
+      (** Taint-aware goal classification and set-valued data-plane
+          verdicts (on by default; see {!Data_campaign.config}[.taint]).
+          Applies to the main and the fuzzed-entry data passes. *)
 }
 
 val default_config : Entry.t list -> config

@@ -71,6 +71,7 @@ type data_stats = {
   ds_goals : int;
   ds_covered : int;
   ds_uncoverable : int;
+  ds_tainted_goals : int;
   ds_packets_tested : int;
   ds_generation_time : float;
   ds_testing_time : float;
@@ -114,10 +115,10 @@ let pp fmt t =
   (match t.data_stats with
   | Some s ->
       Format.fprintf fmt
-        "data plane: %d entries, %d/%d goals covered (%d uncoverable), %d packets, gen %.2fs, test %.2fs, cache %d hit / %d miss@,"
+        "data plane: %d entries, %d/%d goals covered (%d uncoverable, %d tainted), %d packets, gen %.2fs, test %.2fs, cache %d hit / %d miss@,"
         s.ds_entries_installed s.ds_covered s.ds_goals s.ds_uncoverable
-        s.ds_packets_tested s.ds_generation_time s.ds_testing_time
-        s.ds_cache_hits s.ds_cache_misses
+        s.ds_tainted_goals s.ds_packets_tested s.ds_generation_time
+        s.ds_testing_time s.ds_cache_hits s.ds_cache_misses
   | None -> ());
   let all = incidents t in
   if all = [] then Format.fprintf fmt "no incidents@,"
@@ -165,6 +166,7 @@ let data_stats_to_json s =
     [ ("entries_installed", Json.int s.ds_entries_installed);
       ("goals", Json.int s.ds_goals); ("covered", Json.int s.ds_covered);
       ("uncoverable", Json.int s.ds_uncoverable);
+      ("tainted_goals", Json.int s.ds_tainted_goals);
       ("packets_tested", Json.int s.ds_packets_tested);
       ("generation_time_s", Json.num s.ds_generation_time);
       ("testing_time_s", Json.num s.ds_testing_time);

@@ -68,6 +68,9 @@ type data_stats = {
   ds_goals : int;
   ds_covered : int;
   ds_uncoverable : int;
+  ds_tainted_goals : int;
+      (** goals classified [Tainted] (path condition crosses a
+          hash/selector-tainted branch) and excluded from SMT solving *)
   ds_packets_tested : int;
   ds_generation_time : float;   (** encode + SMT, the paper's "Generation" *)
   ds_testing_time : float;      (** run + compare, the paper's "Testing" *)

@@ -15,6 +15,7 @@ let catalog =
     ("analysis.diagnostics_warning", "Warning-severity diagnostics from static analysis.");
     ("analysis.diagnostics_info", "Info-severity diagnostics from static analysis.");
     ("analysis.goals_pruned", "Symbolic goals discharged statically (dead-branch pruning) instead of solved.");
+    ("analysis.tainted_goals", "Branch goals classified tainted (path crosses a hash/selector-tainted branch) and excluded from SMT solving.");
     ("cache.hits", "Packet-cache lookups answered without solving.");
     ("cache.misses", "Packet-cache lookups that required a solver call.");
     ("cache.corrupt_dropped", "Cache entries dropped because their on-disk form failed to parse.");
@@ -33,6 +34,10 @@ let catalog =
     ("oracle.batches_judged", "Update batches compared against the P4Runtime reference oracle.");
     ("oracle.updates_judged", "Individual updates compared against the reference oracle.");
     ("oracle.incidents", "Oracle incidents detected, by kind.");
+    ("oracle.dataplane_fast", "Data-plane verdicts settled by the fast deterministic equality check.");
+    ("oracle.dataplane_set_admits", "Data-plane verdicts admitted by taint-masked set-valued comparison (no hash-round enumeration).");
+    ("oracle.dataplane_escalations", "Data-plane verdicts that escalated to exhaustive hash-round enumeration.");
+    ("oracle.enum_rounds_saved", "Hash-round model executions avoided by fast or set-valued data-plane verdicts.");
     ("parallel.workers_failed", "Forked campaign workers that crashed, errored, or went silent.");
     ("parallel.pool", "Duration of one worker-pool run (fork to last frame).");
     ("parallel.shard", "Duration of one campaign shard inside a worker.");

@@ -195,7 +195,7 @@ let generate ?(seed = 1) (program : Ast.program) profile =
   let route_action () =
     let r = Rng.int rng 100 in
     if r < 10 then single "drop" []
-    else if r < 20 && wcmp_ids <> [] then
+    else if r < 20 && wcmp_ids <> [] && has "wcmp_group_table" then
       single "set_wcmp_group_id" [ bv16 (Rng.choose rng wcmp_ids) ]
     else if r < 25 && tunnel_ids <> [] && usable_nexthops <> [] && has "tunnel_table" then
       single "set_tunnel_id"

@@ -133,6 +133,24 @@ let prune_goals (facts : Switchv_analysis.Analysis.facts) goals =
     "analysis.goals_pruned";
   kept
 
+let prune_tainted_goals (taint : Switchv_analysis.Taint.summary) goals =
+  (* Only branch goals are dropped: a branch whose path condition crosses a
+     tainted conditional constrains a hash-chosen value, so the SMT witness
+     pins a hash outcome the concrete run is free to ignore — solving it
+     buys no reliable coverage. Entry goals over tainted-key tables are
+     kept: their packets still exercise the table (some member handles
+     them), and the set-valued oracle judges the outcome. *)
+  let tainted g =
+    match g.goal_kind with
+    | G_branch label -> List.mem label taint.Switchv_analysis.Taint.s_branch_labels
+    | G_entry _ | G_trace _ | G_custom _ -> false
+  in
+  let kept = List.filter (fun g -> not (tainted g)) goals in
+  Telemetry.incr (Telemetry.get ())
+    ~n:(List.length goals - List.length kept)
+    "analysis.tainted_goals";
+  kept
+
 type test_packet = {
   tp_goal : string;
   tp_kind : goal_kind;

@@ -71,6 +71,18 @@ val prune_goals : Switchv_analysis.Analysis.facts -> goal list -> goal list
     query's cost. Increments the [analysis.goals_pruned] counter by the
     number of goals dropped (creating it at 0 either way). *)
 
+val prune_tainted_goals :
+  Switchv_analysis.Taint.summary -> goal list -> goal list
+(** Classify goals whose path condition crosses a taint-carrying branch
+    ({!Switchv_analysis.Taint.summary.s_branch_labels}) as [Tainted] and
+    drop them before they reach the solver: the SMT witness would pin a
+    hash outcome the concrete run is free to ignore, so solving buys no
+    reliable coverage. Only [G_branch] goals are affected — entry goals
+    over tainted-key tables still exercise the table (the set-valued
+    oracle judges which member handled them). Increments the
+    [analysis.tainted_goals] counter by the number of goals dropped
+    (creating it at 0 either way). *)
+
 type test_packet = {
   tp_goal : string;
   tp_kind : goal_kind;

@@ -1,0 +1,50 @@
+// A model whose nondeterminism taint is visible to `switchv lint`:
+//
+//   P4A009 — ecmp_table keys on meta.bucket, which holds a hash<crc32>
+//            result: which entry wins cannot be predicted.
+//   P4A010 — the tainted bucket is then copied into std.egress_port, so
+//            taint reaches the egress specification at pipeline exit.
+//
+// Both findings are warnings; the model carries no error-severity defect.
+
+header ethernet_t {
+  bit<48> dst_addr;
+  bit<48> src_addr;
+  bit<16> ether_type;
+}
+
+struct metadata_t {
+  bit<16> bucket;
+}
+
+parser (start = start) {
+  state start {
+    packet.extract(headers.ethernet);
+    transition accept;
+  }
+}
+
+action no_action() {
+}
+
+action set_bucket_port() {
+  std.egress_port = meta.bucket;
+}
+
+@id(1)
+table ecmp_table {
+  key = {
+    meta.bucket : exact @name("bucket");
+  }
+  actions = { set_bucket_port; no_action }
+  const default_action = no_action();
+  size = 16;
+}
+
+control ingress {
+  meta.bucket = hash<crc32>(ethernet.src_addr, ethernet.dst_addr);
+  ecmp_table.apply();
+}
+
+control egress {
+}

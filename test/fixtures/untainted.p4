@@ -1,0 +1,47 @@
+// The near-miss twin of tainted.p4: the same hash is computed, but the
+// bucket is overwritten with a constant before the table reads it and
+// before it reaches the egress port — sanitization by constant
+// assignment kills the taint, so neither P4A009 nor P4A010 may fire.
+
+header ethernet_t {
+  bit<48> dst_addr;
+  bit<48> src_addr;
+  bit<16> ether_type;
+}
+
+struct metadata_t {
+  bit<16> bucket;
+}
+
+parser (start = start) {
+  state start {
+    packet.extract(headers.ethernet);
+    transition accept;
+  }
+}
+
+action no_action() {
+}
+
+action set_bucket_port() {
+  std.egress_port = meta.bucket;
+}
+
+@id(1)
+table ecmp_table {
+  key = {
+    meta.bucket : exact @name("bucket");
+  }
+  actions = { set_bucket_port; no_action }
+  const default_action = no_action();
+  size = 16;
+}
+
+control ingress {
+  meta.bucket = hash<crc32>(ethernet.src_addr, ethernet.dst_addr);
+  meta.bucket = 16w0x1;
+  ecmp_table.apply();
+}
+
+control egress {
+}

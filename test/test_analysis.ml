@@ -9,6 +9,8 @@ module Bitvec = Switchv_bitvec.Bitvec
 module Constraint_lang = Switchv_p4constraints.Constraint_lang
 module Analysis = Switchv_analysis.Analysis
 module Diagnostics = Switchv_analysis.Diagnostics
+module Taint = Switchv_analysis.Taint
+module P4parser = Switchv_p4ir.P4parser
 module Symexec = Switchv_symbolic.Symexec
 module Packetgen = Switchv_symbolic.Packetgen
 module Telemetry = Switchv_telemetry.Telemetry
@@ -43,10 +45,11 @@ let base_parser =
         { Ast.ps_name = "parse_ipv4"; ps_extract = Some "ipv4";
           ps_next = Ast.T_accept } ] }
 
-let table ?(id = 1) ?restriction ?(actions = [ "no_action" ]) name keys =
+let table ?(id = 1) ?restriction ?(actions = [ "no_action" ]) ?(selector = false)
+    name keys =
   { Ast.t_name = name; t_id = id; t_keys = keys; t_actions = actions;
     t_default_action = (List.hd actions, []); t_size = 8;
-    t_entry_restriction = restriction; t_selector = false }
+    t_entry_restriction = restriction; t_selector = selector }
 
 let key ?(kind = Ast.Exact) name expr =
   { Ast.k_name = name; k_expr = expr; k_kind = kind; k_refers_to = None }
@@ -221,6 +224,155 @@ let test_unreferenced_action () =
   let report = Analysis.run (mk "p4a008" ~actions:[ no_action; orphan ]) in
   check_bool "P4A008 fires" true (has_code "P4A008" report)
 
+(* --- taint: P4A009 / P4A010 ---------------------------------------------------- *)
+
+let hash_of_src =
+  Ast.E_hash ("crc32", [ Ast.E_field (Ast.field "ethernet" "src_addr") ])
+
+let bucket_meta = [ ("bucket", 16) ]
+
+(* meta.bucket <- hash; a table keys on it. *)
+let test_tainted_key () =
+  let p =
+    mk "p4a009" ~metadata:bucket_meta
+      ~tables:[ table "hashed_t" [ key "bucket" (Ast.E_field (Ast.meta "bucket")) ] ]
+      ~ingress:
+        (Ast.seq
+           [ Ast.C_stmt (Ast.S_assign (Ast.meta "bucket", hash_of_src));
+             Ast.C_table "hashed_t" ])
+  in
+  let report = Analysis.run p in
+  check_bool "P4A009 fires" true (has_code "P4A009" report);
+  check_bool "only a warning" false (Diagnostics.has_errors report.r_diagnostics);
+  check_bool "in the summary" true
+    (List.mem_assoc "hashed_t" report.r_facts.f_taint.Taint.s_tainted_keys)
+
+(* near-miss: the constant overwrite sanitizes the bucket before the read *)
+let test_sanitized_key_is_clean () =
+  let p =
+    mk "p4a009-clean" ~metadata:bucket_meta
+      ~tables:[ table "hashed_t" [ key "bucket" (Ast.E_field (Ast.meta "bucket")) ] ]
+      ~ingress:
+        (Ast.seq
+           [ Ast.C_stmt (Ast.S_assign (Ast.meta "bucket", hash_of_src));
+             Ast.C_stmt (Ast.S_assign (Ast.meta "bucket", c 16 1));
+             Ast.C_table "hashed_t" ])
+  in
+  let report = Analysis.run p in
+  check_bool "no P4A009" false (has_code "P4A009" report);
+  check_bool "taint-free summary" true (Taint.taint_free report.r_facts.f_taint)
+
+let test_tainted_egress () =
+  let p =
+    mk "p4a010" ~metadata:bucket_meta
+      ~ingress:
+        (Ast.seq
+           [ Ast.C_stmt (Ast.S_assign (Ast.meta "bucket", hash_of_src));
+             Ast.C_stmt
+               (Ast.S_assign
+                  (Ast.std "egress_port", Ast.E_field (Ast.meta "bucket"))) ])
+  in
+  let report = Analysis.run p in
+  check_bool "P4A010 fires" true (has_code "P4A010" report);
+  check_bool "exit-tainted egress port" true
+    (Taint.exit_tainted report.r_facts.f_taint "std.egress_port")
+
+(* near-miss: the hash is computed but a constant port wins *)
+let test_sanitized_egress_is_clean () =
+  let p =
+    mk "p4a010-clean" ~metadata:bucket_meta
+      ~ingress:
+        (Ast.seq
+           [ Ast.C_stmt (Ast.S_assign (Ast.meta "bucket", hash_of_src));
+             Ast.C_stmt
+               (Ast.S_assign
+                  (Ast.std "egress_port", Ast.E_field (Ast.meta "bucket")));
+             Ast.C_stmt (Ast.S_assign (Ast.std "egress_port", c 16 3)) ])
+  in
+  let report = Analysis.run p in
+  check_bool "no P4A010" false (has_code "P4A010" report);
+  check_bool "egress port untainted at exit" false
+    (Taint.exit_tainted report.r_facts.f_taint "std.egress_port")
+
+(* action-selector member choice as a source: the selector table's action
+   writes the egress port from its (member-chosen) parameter *)
+let set_port =
+  { Ast.a_name = "set_port"; a_params = [ Ast.param "port" 16 ];
+    a_body = [ Ast.S_assign (Ast.std "egress_port", Ast.E_param "port") ] }
+
+let selector_program =
+  mk "selector" ~metadata:bucket_meta
+    ~actions:[ no_action; set_port ]
+    ~tables:
+      [ table "wcmp_t" ~selector:true ~actions:[ "no_action"; "set_port" ]
+          [ key "gid" (Ast.E_field (Ast.meta "bucket")) ] ]
+    ~ingress:(Ast.C_table "wcmp_t")
+
+let test_selector_source () =
+  let report = Analysis.run selector_program in
+  let taint = report.r_facts.f_taint in
+  check_bool "P4A010 fires" true (has_code "P4A010" report);
+  check_bool "selector is the source" true
+    (match List.assoc_opt "std.egress_port" taint.Taint.s_exit_fields with
+    | Some sources -> List.mem "selector:wcmp_t" sources
+    | None -> false);
+  check_bool "egress writer recorded" true
+    (List.mem ("wcmp_t", "set_port") taint.Taint.s_egress_writers)
+
+(* a tainted condition marks both arms (and nested arms) as tainted goals *)
+let test_tainted_branch_labels () =
+  let p =
+    mk "tainted-branch" ~metadata:bucket_meta
+      ~ingress:
+        (Ast.seq
+           [ Ast.C_stmt (Ast.S_assign (Ast.meta "bucket", hash_of_src));
+             Ast.C_if
+               ( Ast.B_eq (Ast.E_field (Ast.meta "bucket"), c 16 0),
+                 Ast.C_nop, Ast.C_nop ) ])
+  in
+  let taint = (Analysis.facts p).Analysis.f_taint in
+  check_bool "branch 1 recorded" true (List.mem_assoc 1 taint.Taint.s_branches);
+  check_bool "both arms labelled" true
+    (List.mem "branch.1.then" taint.Taint.s_branch_labels
+    && List.mem "branch.1.else" taint.Taint.s_branch_labels)
+
+(* the WCMP role model carries the expected summary *)
+let test_middleblock_taint_summary () =
+  let taint = (Analysis.facts Switchv_sai.Middleblock.program).Analysis.f_taint in
+  check_bool "egress port tainted at exit" true
+    (Taint.exit_tainted taint "std.egress_port");
+  check_bool "nexthop key tainted by the selector" true
+    (List.mem_assoc "nexthop_table" taint.Taint.s_tainted_keys);
+  check_bool "an egress writer exists" true (taint.Taint.s_egress_writers <> []);
+  check_bool "figure2 is taint-free" true
+    (Taint.taint_free
+       (Analysis.facts Switchv_sai.Figure2.program).Analysis.f_taint)
+
+(* --- .p4 fixture files --------------------------------------------------------- *)
+
+let parse_fixture name =
+  (* dune runtest runs in test/; `dune exec test/...` runs in the root *)
+  let path =
+    let local = Filename.concat "fixtures" name in
+    if Sys.file_exists local then local
+    else Filename.concat "test/fixtures" name
+  in
+  let ic = open_in_bin path in
+  let source = really_input_string ic (in_channel_length ic) in
+  close_in ic;
+  P4parser.parse_exn ~name source
+
+let test_fixture_tainted () =
+  let report = Analysis.run (parse_fixture "tainted.p4") in
+  check_bool "P4A009 fires" true (has_code "P4A009" report);
+  check_bool "P4A010 fires" true (has_code "P4A010" report);
+  check_bool "warnings only" false (Diagnostics.has_errors report.r_diagnostics)
+
+let test_fixture_untainted () =
+  let report = Analysis.run (parse_fixture "untainted.p4") in
+  check_bool "no P4A009" false (has_code "P4A009" report);
+  check_bool "no P4A010" false (has_code "P4A010" report)
+
 (* --- branch numbering agrees with the symbolic engine ------------------------ *)
 
 (* ingress: if(valid ipv4) { if(dbg==2) t1 }  — branch 1 then branch 2;
@@ -320,6 +472,49 @@ let test_diagnostics_module () =
   check_bool "of_string unknown" true
     (Diagnostics.severity_of_string "fatal" = None)
 
+(* identical findings surfaced through both arms of a conditional collapse
+   to one reported diagnostic *)
+let test_dedup_across_branch_arms () =
+  let read_ttl =
+    Ast.C_if
+      (Ast.B_eq (Ast.E_field (Ast.field "ipv4" "ttl"), c 8 0), Ast.C_nop, Ast.C_nop)
+  in
+  let p =
+    mk "dedup-arms"
+      ~ingress:
+        (Ast.C_if
+           ( Ast.B_eq (Ast.E_field (Ast.field "ethernet" "ether_type"), c 16 1),
+             read_ttl, read_ttl ))
+  in
+  let report = Analysis.run p in
+  let p4a002 =
+    List.filter
+      (fun (d : Diagnostics.t) -> d.Diagnostics.d_code = "P4A002")
+      report.r_diagnostics
+  in
+  check_int "one finding for both arms" 1 (List.length p4a002)
+
+let test_sort_deterministic () =
+  let w code loc msg = Diagnostics.warning code ~loc "%s" msg in
+  let diags =
+    [ w "P4A002" "b" "m"; w "P4A002" "a" "n"; w "P4A002" "a" "m";
+      w "P4A001" "b" "m"; Diagnostics.info "P4A007" "a" ~loc:"a";
+      Diagnostics.error "P4A001" "x" ~loc:"z" ]
+  in
+  let sorted = Diagnostics.sort diags in
+  (* total key: severity desc, then loc, then code, then message — so any
+     input permutation sorts identically *)
+  check_bool "permutation-invariant" true
+    (Diagnostics.sort (List.rev diags) = sorted);
+  check_bool "error first" true
+    ((List.hd sorted).Diagnostics.d_severity = Diagnostics.Error);
+  let tail = List.tl sorted in
+  check_bool "warnings ordered by loc, code, message" true
+    (List.map (fun (d : Diagnostics.t) -> (d.Diagnostics.d_loc, d.Diagnostics.d_code, d.Diagnostics.d_message))
+       (List.filteri (fun i _ -> i < 4) tail)
+    = [ ("a", "P4A002", "m"); ("a", "P4A002", "n"); ("b", "P4A001", "m");
+        ("b", "P4A002", "m") ])
+
 let test_telemetry_counters () =
   let tm = Telemetry.create () in
   Telemetry.with_registry tm (fun () -> ignore (Analysis.run branchy));
@@ -353,7 +548,22 @@ let () =
           Alcotest.test_case "P4A006 decided branch" `Quick test_decided_branch;
           Alcotest.test_case "P4A007 unapplied table" `Quick test_unapplied_table;
           Alcotest.test_case "P4A008 unreferenced action" `Quick
-            test_unreferenced_action ] );
+            test_unreferenced_action;
+          Alcotest.test_case "P4A009 tainted key" `Quick test_tainted_key;
+          Alcotest.test_case "P4A009 sanitized near-miss" `Quick
+            test_sanitized_key_is_clean;
+          Alcotest.test_case "P4A010 tainted egress" `Quick test_tainted_egress;
+          Alcotest.test_case "P4A010 sanitized near-miss" `Quick
+            test_sanitized_egress_is_clean ] );
+      ( "taint",
+        [ Alcotest.test_case "selector source" `Quick test_selector_source;
+          Alcotest.test_case "tainted branch labels" `Quick
+            test_tainted_branch_labels;
+          Alcotest.test_case "middleblock summary" `Quick
+            test_middleblock_taint_summary;
+          Alcotest.test_case "tainted.p4 fixture" `Quick test_fixture_tainted;
+          Alcotest.test_case "untainted.p4 near-miss" `Quick
+            test_fixture_untainted ] );
       ( "symexec agreement",
         [ Alcotest.test_case "branch labels" `Quick test_branch_labels_match_symexec ] );
       ( "pruning",
@@ -361,4 +571,7 @@ let () =
           Alcotest.test_case "no facts" `Quick test_no_facts_prunes_nothing ] );
       ( "plumbing",
         [ Alcotest.test_case "diagnostics" `Quick test_diagnostics_module;
+          Alcotest.test_case "dedup across branch arms" `Quick
+            test_dedup_across_branch_arms;
+          Alcotest.test_case "sort determinism" `Quick test_sort_deterministic;
           Alcotest.test_case "telemetry" `Quick test_telemetry_counters ] ) ]

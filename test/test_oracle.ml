@@ -285,6 +285,173 @@ let prop_readback_corruption_detected =
       in
       List.exists (fun (i : Oracle.incident) -> i.inc_kind = `State_divergence) incidents)
 
+(* --- the set-valued data-plane oracle (taint-driven) --------------------------- *)
+
+module Dataplane = Switchv_oracle.Dataplane
+module Interp = Switchv_bmv2.Interp
+module Analysis = Switchv_analysis.Analysis
+module Taint = Switchv_analysis.Taint
+module Packet = Switchv_packet.Packet
+module Ternary = Switchv_bitvec.Ternary
+module Middleblock = Switchv_sai.Middleblock
+
+(* A middleblock state whose route resolves through a 2-member WCMP group:
+   member 1 -> rif 1 -> port 7, member 2 -> rif 2 -> port 9. *)
+let wcmp_state () =
+  let s = State.create () in
+  let add e = ignore (State.insert s e) in
+  let rif id port =
+    add
+      (Entry.make ~table:"router_interface_table"
+         ~matches:[ fm "router_interface_id" (Entry.M_exact (bv16 id)) ]
+         (single "set_port_and_src_mac"
+            [ bv16 port; Packet.mac_of_string "02:00:00:00:bb:01" ]));
+    add
+      (Entry.make ~table:"neighbor_table"
+         ~matches:
+           [ fm "router_interface_id" (Entry.M_exact (bv16 id));
+             fm "neighbor_id" (Entry.M_exact (bv16 id)) ]
+         (single "set_dst_mac" [ Packet.mac_of_string "02:00:00:00:cc:01" ]));
+    add
+      (Entry.make ~table:"nexthop_table"
+         ~matches:[ fm "nexthop_id" (Entry.M_exact (bv16 id)) ]
+         (single "set_ip_nexthop" [ bv16 id; bv16 id ]))
+  in
+  add (vrf 1);
+  rif 1 7;
+  rif 2 9;
+  add
+    (Entry.make ~table:"wcmp_group_table"
+       ~matches:[ fm "wcmp_group_id" (Entry.M_exact (bv16 1)) ]
+       (Entry.Weighted
+          [ ({ Entry.ai_name = "set_nexthop_id"; ai_args = [ bv16 1 ] }, 2);
+            ({ Entry.ai_name = "set_nexthop_id"; ai_args = [ bv16 2 ] }, 1) ]));
+  add
+    (Entry.make ~table:"acl_pre_ingress_table" ~priority:1
+       ~matches:
+         [ fm "is_ipv4" (Entry.M_ternary (Ternary.exact (Bitvec.of_int ~width:1 1))) ]
+       (single "set_vrf" [ bv16 1 ]));
+  add
+    (Entry.make ~table:"l3_admit_table" ~priority:1
+       ~matches:
+         [ fm "dst_mac"
+             (Entry.M_ternary (Ternary.exact (Packet.mac_of_string "02:00:00:00:aa:01"))) ]
+       (single "l3_admit" []));
+  add
+    (Entry.make ~table:"ipv4_table"
+       ~matches:
+         [ fm "vrf_id" (Entry.M_exact (bv16 1));
+           fm "ipv4_dst" (Entry.M_lpm (Prefix.of_ipv4_string "10.1.0.0/16")) ]
+       (single "set_wcmp_group_id" [ bv16 1 ]));
+  s
+
+let wcmp_cfg ?(hash_mode = Interp.Seeded 1) () =
+  { Interp.program = Middleblock.program; state = wcmp_state ();
+    hash_mode; mirror_map = [] }
+
+let wcmp_taint = lazy (Analysis.facts Middleblock.program).Analysis.f_taint
+
+let wcmp_packet ?(dst = "10.1.2.3") () =
+  Packet.to_bytes
+    { Packet.headers =
+        [ Packet.ethernet_frame ~dst:"02:00:00:00:aa:01" ~ether_type:0x0800 ();
+          Packet.ipv4_header ~ttl:64 ~src:"192.0.2.1" ~dst ();
+          Packet.udp_header ~src_port:1000 ~dst_port:2000 () ];
+      payload = "xyz" }
+
+let test_candidate_ports () =
+  let dp = Dataplane.create (wcmp_cfg ()) ~taint:(Lazy.force wcmp_taint) in
+  check_bool "both member ports, sorted" true
+    (Dataplane.candidate_ports dp = [ 7; 9 ])
+
+(* The §c property: for every seed, the switch's member choice stays inside
+   the statically-computed candidate set and the set-valued oracle admits
+   it without a false positive. *)
+let test_seeded_soak () =
+  let dp = Dataplane.create (wcmp_cfg ()) ~taint:(Lazy.force wcmp_taint) in
+  let bytes = wcmp_packet () in
+  for seed = 0 to 199 do
+    let cfg = wcmp_cfg ~hash_mode:(Interp.Seeded seed) () in
+    let switch = Interp.run cfg ~ingress_port:1 bytes in
+    (match switch.Interp.b_egress with
+    | Some p ->
+        if not (List.mem p (Dataplane.candidate_ports dp)) then
+          Alcotest.failf "seed %d egressed outside the candidate set: port %d"
+            seed p
+    | None -> Alcotest.failf "seed %d dropped a routed packet" seed);
+    match Dataplane.judge dp ~ingress_port:1 ~bytes ~switch with
+    | Dataplane.Admitted -> ()
+    | Dataplane.Diverged _ ->
+        Alcotest.failf "seed %d: false positive on a clean switch" seed
+  done
+
+(* An egress port outside the member set is a real incident, not noise. *)
+let test_out_of_set_diverges () =
+  let dp = Dataplane.create (wcmp_cfg ()) ~taint:(Lazy.force wcmp_taint) in
+  let bytes = wcmp_packet () in
+  let model = Interp.run (wcmp_cfg ~hash_mode:(Interp.Fixed 0) ()) ~ingress_port:1 bytes in
+  let rogue = { model with Interp.b_egress = Some 5 } in
+  match Dataplane.judge dp ~ingress_port:1 ~bytes ~switch:rogue with
+  | Dataplane.Diverged admitted ->
+      check_bool "enumeration set is the message" true
+        (List.for_all
+           (fun (b : Interp.behavior) ->
+             match b.Interp.b_egress with Some p -> p = 7 || p = 9 | None -> false)
+           admitted)
+  | Dataplane.Admitted -> Alcotest.fail "out-of-set egress admitted"
+
+(* Drop where the model forwards escalates and diverges. *)
+let test_drop_vs_forward_diverges () =
+  let dp = Dataplane.create (wcmp_cfg ()) ~taint:(Lazy.force wcmp_taint) in
+  let bytes = wcmp_packet () in
+  let model = Interp.run (wcmp_cfg ~hash_mode:(Interp.Fixed 0) ()) ~ingress_port:1 bytes in
+  let dropped =
+    { model with Interp.b_egress = None; b_punted = false; b_packet = "" }
+  in
+  match Dataplane.judge dp ~ingress_port:1 ~bytes ~switch:dropped with
+  | Dataplane.Diverged _ -> ()
+  | Dataplane.Admitted -> Alcotest.fail "drop admitted where the model forwards"
+
+(* On a hash-free program the verdict is plain enumeration, byte for byte:
+   a matching behaviour is admitted and a divergence reports exactly the
+   single Fixed-0 behaviour. *)
+let test_hash_free_exactness () =
+  let state = State.create () in
+  let add e = ignore (State.insert state e) in
+  add (vrf 1);
+  add
+    (Entry.make ~table:"acl_pre_ingress_table" ~priority:1
+       ~matches:
+         [ fm "dst_ip"
+             (Entry.M_ternary (Ternary.exact (Packet.ipv4_of_string "10.0.1.1"))) ]
+       (single "set_vrf" [ bv16 1 ]));
+  add
+    (Entry.make ~table:"ipv4_table"
+       ~matches:
+         [ fm "vrf_id" (Entry.M_exact (bv16 1));
+           fm "ipv4_dst" (Entry.M_lpm (Prefix.of_ipv4_string "10.0.0.0/8")) ]
+       (single "set_nexthop_id" [ bv16 11 ]));
+  let cfg =
+    { Interp.program = Figure2.program; state; hash_mode = Interp.Seeded 17;
+      mirror_map = [] }
+  in
+  let taint = (Analysis.facts Figure2.program).Analysis.f_taint in
+  check_bool "figure2 taint-free" true (Taint.taint_free taint);
+  let dp = Dataplane.create cfg ~taint in
+  check_bool "no candidates" true (Dataplane.candidate_ports dp = []);
+  let bytes = wcmp_packet ~dst:"10.0.1.1" () in
+  let honest = Interp.run cfg ~ingress_port:1 bytes in
+  (match Dataplane.judge dp ~ingress_port:1 ~bytes ~switch:honest with
+  | Dataplane.Admitted -> ()
+  | Dataplane.Diverged _ -> Alcotest.fail "honest hash-free behaviour diverged");
+  let rogue = { honest with Interp.b_egress = Some 31 } in
+  match Dataplane.judge dp ~ingress_port:1 ~bytes ~switch:rogue with
+  | Dataplane.Diverged [ only ] ->
+      check_bool "divergence reports the Fixed-0 behaviour" true
+        (Interp.behavior_equal only honest)
+  | Dataplane.Diverged _ -> Alcotest.fail "hash-free divergence set not a singleton"
+  | Dataplane.Admitted -> Alcotest.fail "rogue egress admitted on hash-free model"
+
 let () =
   Alcotest.run "oracle"
     [ ("classification",
@@ -306,4 +473,11 @@ let () =
          Alcotest.test_case "adopts switch state" `Quick test_oracle_adopts_switch_state ]);
       ("properties",
        [ QCheck_alcotest.to_alcotest prop_single_corruption_detected;
-         QCheck_alcotest.to_alcotest prop_readback_corruption_detected ]) ]
+         QCheck_alcotest.to_alcotest prop_readback_corruption_detected ]);
+      ("dataplane",
+       [ Alcotest.test_case "candidate ports" `Quick test_candidate_ports;
+         Alcotest.test_case "seeded soak admits" `Quick test_seeded_soak;
+         Alcotest.test_case "out-of-set diverges" `Quick test_out_of_set_diverges;
+         Alcotest.test_case "drop vs forward diverges" `Quick
+           test_drop_vs_forward_diverges;
+         Alcotest.test_case "hash-free exactness" `Quick test_hash_free_exactness ]) ]

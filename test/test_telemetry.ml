@@ -238,7 +238,8 @@ let test_report_to_json () =
       data_stats =
         Some
           { Report.ds_entries_installed = 5; ds_goals = 9; ds_covered = 8;
-            ds_uncoverable = 1; ds_packets_tested = 8; ds_generation_time = 1.5;
+            ds_uncoverable = 1; ds_tainted_goals = 0; ds_packets_tested = 8;
+            ds_generation_time = 1.5;
             ds_testing_time = 0.5; ds_cache_hits = 0; ds_cache_misses = 9 };
       clusters =
         Some
