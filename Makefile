@@ -1,6 +1,6 @@
 # Convenience targets; everything is plain dune underneath.
 
-.PHONY: all build check test bench bench-quick micro examples lint-models lint-json replay-corpus check-parallel check-smt check-obs check-taint clean
+.PHONY: all build check test bench bench-quick micro examples lint-models lint-json replay-corpus check-parallel check-smt check-obs check-taint check-topo clean
 
 MODELS = middleblock tor wan cerberus figure2
 
@@ -22,6 +22,7 @@ check:
 	$(MAKE) check-smt
 	$(MAKE) check-obs
 	$(MAKE) check-taint
+	$(MAKE) check-topo
 
 # Regression-corpus gate: every archived incident in the golden corpus must
 # still reproduce on a stack seeded with the fault it was captured under
@@ -168,6 +169,36 @@ check-taint:
 	! $(SWITCHV) validate -m middleblock --batches 4 --fault PINS-051 >/dev/null
 	dune exec bench/main.exe -- quick taint
 	rm -f /tmp/swv_taint_on.jsonl /tmp/swv_taint_off.jsonl
+
+# Fabric gate, three legs. (1) Soundness: an unseeded 4-switch fabric
+# campaign must be incident-free on every topology shape — the stack
+# fabric and the model fabric agree hop-for-hop and end-to-end on a clean
+# switch. (2) Localization: a TTL-trap fault seeded on the middle switch
+# of a 3-switch line must be reported, and every hop-attributed
+# fingerprint must name sw1 — never an innocent neighbour that merely
+# forwarded the perturbed packet. The archived corpus must be
+# byte-identical at --jobs 1 and --jobs 4 (same --shards). (3) The fabric
+# bench artifact must report 100% localization accuracy over the
+# data-plane fault kinds. Incident-bearing runs exit non-zero by
+# contract, so those legs are inverted with `!`.
+check-topo:
+	dune build @all
+	for t in line star mesh leaf_spine; do \
+	  $(SWITCHV) fabric -m middleblock --topo $$t --switches 4 >/dev/null || exit 1; \
+	done
+	rm -f /tmp/swv_topo_rep.txt /tmp/swv_topo_1.jsonl /tmp/swv_topo_4.jsonl
+	! $(SWITCHV) fabric -m middleblock --topo line --switches 3 \
+	  --fault TOPO-001 --fault-switch 1 --shards 4 --jobs 1 \
+	  --save-corpus /tmp/swv_topo_1.jsonl > /tmp/swv_topo_rep.txt
+	grep -q 'h=sw1' /tmp/swv_topo_rep.txt
+	! grep -q 'h=sw0' /tmp/swv_topo_rep.txt
+	! grep -q 'h=sw2' /tmp/swv_topo_rep.txt
+	! $(SWITCHV) fabric -m middleblock --topo line --switches 3 \
+	  --fault TOPO-001 --fault-switch 1 --shards 4 --jobs 4 \
+	  --save-corpus /tmp/swv_topo_4.jsonl >/dev/null
+	cmp /tmp/swv_topo_1.jsonl /tmp/swv_topo_4.jsonl
+	dune exec bench/main.exe -- quick fabric
+	rm -f /tmp/swv_topo_rep.txt /tmp/swv_topo_1.jsonl /tmp/swv_topo_4.jsonl
 
 test:
 	dune runtest

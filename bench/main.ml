@@ -22,6 +22,9 @@ module Harness = Switchv_core.Harness
 module Report = Switchv_core.Report
 module Control_campaign = Switchv_core.Control_campaign
 module Data_campaign = Switchv_core.Data_campaign
+module Fabric_campaign = Switchv_core.Fabric_campaign
+module Topo = Switchv_topo.Topo
+module Routes = Switchv_topo.Routes
 module Trivial_suite = Switchv_core.Trivial_suite
 module Cache = Switchv_symbolic.Cache
 module Symexec = Switchv_symbolic.Symexec
@@ -1045,6 +1048,132 @@ let obs_overhead_bench () =
          max_pct budget_pct)
 
 (* ------------------------------------------------------------------ *)
+(* Fabric: multi-switch campaign throughput and fault localization     *)
+(* ------------------------------------------------------------------ *)
+
+let fabric_bench () =
+  banner "Fabric: multi-switch campaign throughput and hop localization";
+  Printf.printf
+    "Throughput: an unseeded fabric campaign per topology size (every flow\n\
+     crosses both the stack fabric and the model fabric, judged per hop\n\
+     and end-to-end; hops/s counts per-switch packet processings).\n\
+     Localization: a 3-switch line with each data-plane fault seeded on\n\
+     sw1 — accuracy is the fraction of faults caught AND attributed only\n\
+     to sw1, never to an innocent neighbour.\n\n";
+  let sizes =
+    if !quick then [ (Topo.Line, 3); (Topo.Star, 4) ]
+    else
+      [ (Topo.Line, 3); (Topo.Line, 6); (Topo.Star, 6); (Topo.Mesh, 4);
+        (Topo.Leaf_spine, 6) ]
+  in
+  Printf.printf "%-12s %8s %6s %6s %9s %8s %9s %9s\n" "topology" "switches"
+    "flows" "hops" "delivered" "time" "flows/s" "hops/s";
+  Printf.printf "%s\n" (String.make 76 '-');
+  let throughput =
+    List.map
+      (fun (shape, switches) ->
+        let cfg = Fabric_campaign.default_config shape switches in
+        let incidents, stats = Fabric_campaign.run Middleblock.program cfg in
+        assert (incidents = []);
+        let dt = stats.Report.fs_duration in
+        let per x = if dt > 0. then float_of_int x /. dt else 0. in
+        Printf.printf "%-12s %8d %6d %6d %9d %7.2fs %9.0f %9.0f\n%!"
+          stats.Report.fs_shape switches stats.Report.fs_flows
+          stats.Report.fs_hops stats.Report.fs_delivered dt
+          (per stats.Report.fs_flows) (per stats.Report.fs_hops);
+        (stats, per stats.Report.fs_flows, per stats.Report.fs_hops))
+      sizes
+  in
+  (* Localization accuracy over the data-plane fault kinds that can fire on
+     a middleblock line fabric ([Encap_reversed_dst] has no tunnel tables
+     to act on). *)
+  let topo3 = Topo.build Topo.Line 3 in
+  let catalogue =
+    Catalogue.topo Middleblock.program
+      (Routes.entries topo3 Middleblock.program ~switch:1)
+  in
+  let extra =
+    List.map
+      (fun (name, kind) ->
+        Fault.make ~id:("BENCH-" ^ name) ~component:Fault.Hardware kind name)
+      [ ("drop-dst-ip",
+         Fault.Drop_dst_ip (Switchv_packet.Packet.ipv4_of_string (Routes.host_ip 2)));
+        ("punt-ether-type", Fault.Punt_ether_type 0x88CC);
+        ("dscp-remark", Fault.Dscp_remark_zero 8);
+        ("mirror-ignored", Fault.Mirror_ignored);
+        ("punt-lost", Fault.Punt_lost);
+        ("submit-dropped", Fault.Submit_to_ingress_dropped);
+        ("po-punted-back", Fault.Packet_out_punted_back) ]
+  in
+  let faults =
+    let all = catalogue @ extra in
+    if !quick then List.filteri (fun i _ -> i < 4) all else all
+  in
+  Printf.printf "\n%-28s %9s %9s %s\n" "seeded fault (on sw1)" "incidents"
+    "localized" "verdict";
+  Printf.printf "%s\n" (String.make 72 '-');
+  let localization =
+    List.map
+      (fun (fault : Fault.t) ->
+        let cfg =
+          { (Fabric_campaign.default_config Topo.Line 3) with
+            Fabric_campaign.faults = [ (1, [ fault ]) ];
+            max_incidents = 200 }
+        in
+        let incidents, _ = Fabric_campaign.run Middleblock.program cfg in
+        let hops =
+          List.filter_map
+            (fun (i : Report.incident) ->
+              match i.Report.context with
+              | Some { Report.ctx_hop = Some h; _ } -> Some h
+              | _ -> None)
+            incidents
+        in
+        let correct =
+          incidents <> [] && hops <> []
+          && List.for_all (String.equal "sw1") hops
+        in
+        Printf.printf "%-28s %9d %9d %s\n%!" fault.Fault.id
+          (List.length incidents) (List.length hops)
+          (if correct then "sw1" else "MISLOCALIZED");
+        (fault.Fault.id, List.length incidents, correct))
+      faults
+  in
+  let correct = List.length (List.filter (fun (_, _, c) -> c) localization) in
+  let accuracy = float_of_int correct /. float_of_int (List.length faults) in
+  Printf.printf "%s\n" (String.make 72 '-');
+  Printf.printf "localization accuracy: %d/%d (%.0f%%)\n" correct
+    (List.length faults) (100. *. accuracy);
+  (* Snapshot for trend tracking; committed as BENCH_fabric.json. *)
+  let json =
+    let trow ((s : Report.fabric_stats), fps, hps) =
+      Printf.sprintf
+        "    {\"shape\": %S, \"switches\": %d, \"flows\": %d, \"hops\": %d, \
+         \"delivered\": %d, \"dropped\": %d, \"duration_s\": %.3f, \
+         \"flows_per_s\": %.0f, \"hops_per_s\": %.0f}"
+        s.Report.fs_shape s.Report.fs_switches s.Report.fs_flows
+        s.Report.fs_hops s.Report.fs_delivered s.Report.fs_dropped
+        s.Report.fs_duration fps hps
+    in
+    let lrow (id, incidents, correct) =
+      Printf.sprintf "    {\"fault\": %S, \"incidents\": %d, \"localized\": %b}"
+        id incidents correct
+    in
+    Printf.sprintf
+      "{\n  \"artifact\": \"fabric\",\n  \"throughput\": [\n%s\n  ],\n  \
+       \"localization\": [\n%s\n  ],\n  \"localization_accuracy\": %.3f\n}\n"
+      (String.concat ",\n" (List.map trow throughput))
+      (String.concat ",\n" (List.map lrow localization))
+      accuracy
+  in
+  let oc = open_out "BENCH_fabric.json" in
+  output_string oc json;
+  close_out oc;
+  Printf.printf "wrote BENCH_fabric.json\n";
+  if accuracy < 1.0 then
+    failwith "a seeded fabric fault was missed or localized to the wrong switch"
+
+(* ------------------------------------------------------------------ *)
 (* Bechamel micro-benchmarks                                           *)
 (* ------------------------------------------------------------------ *)
 
@@ -1109,7 +1238,7 @@ let () =
   let args = List.filter (fun a -> a <> "quick") args in
   let all =
     [ "table1"; "table2"; "table3"; "figure7"; "ablations"; "triage"; "parallel";
-      "smt_incremental"; "taint"; "obs_overhead" ]
+      "smt_incremental"; "taint"; "obs_overhead"; "fabric" ]
   in
   let selected = if args = [] then all else args in
   let t0 = now () in
@@ -1130,13 +1259,14 @@ let () =
       | "smt_incremental" -> smt_incremental_bench ()
       | "taint" -> taint_bench ()
       | "obs_overhead" -> obs_overhead_bench ()
+      | "fabric" -> fabric_bench ()
       | "micro" -> micro ()
       | other ->
           known := false;
           Printf.printf
             "unknown artifact %S (use \
              table1|table2|table3|figure7|ablations|triage|parallel|\
-             smt_incremental|taint|obs_overhead|micro|quick)\n"
+             smt_incremental|taint|obs_overhead|fabric|micro|quick)\n"
             other);
       if !known then
         Printf.printf "\ntelemetry %s %s\n" artifact

@@ -2,6 +2,7 @@
 
    Subcommands:
      validate     — full nightly validation (fuzzer + oracle, symbolic + diff)
+     fabric       — multi-switch fabric campaign with hop-localized triage
      replay       — re-run a regression corpus against a (fresh) switch stack
      fuzz         — control-plane campaign only
      genpackets   — p4-symbolic packet generation only
@@ -24,6 +25,9 @@ module Catalogue = Switchv_switch.Catalogue
 module Workload = Switchv_sai.Workload
 module Harness = Switchv_core.Harness
 module Report = Switchv_core.Report
+module Fabric_campaign = Switchv_core.Fabric_campaign
+module Topo = Switchv_topo.Topo
+module Routes = Switchv_topo.Routes
 module Control_campaign = Switchv_core.Control_campaign
 module Data_campaign = Switchv_core.Data_campaign
 module Trivial_suite = Switchv_core.Trivial_suite
@@ -132,7 +136,11 @@ let workload program scale seed =
   Workload.generate ~seed program (Workload.scaled scale Workload.inst1)
 
 let resolve_faults program entries ids =
-  let catalogue = Catalogue.pins program entries @ Catalogue.cerberus program entries in
+  let catalogue =
+    Catalogue.pins program entries
+    @ Catalogue.cerberus program entries
+    @ Catalogue.topo program entries
+  in
   List.map
     (fun id ->
       match List.find_opt (fun (f : Fault.t) -> String.equal f.id id) catalogue with
@@ -400,6 +408,146 @@ let replay_cmd =
         $ model_arg $ seed_arg $ scale_arg $ faults_arg $ corpus_arg
         $ expect_reproduce_arg))
 
+(* --- fabric ---------------------------------------------------------------- *)
+
+let fabric_cmd =
+  let run program shape switches spines seed fault_ids fault_switch budget
+      no_packet_out jobs shards minimize trace_file corpus_file =
+    match
+      (try Ok (Topo.build ?spines shape switches)
+       with Invalid_argument m -> Error m)
+    with
+    | Error m -> Error m
+    | Ok topo ->
+        if fault_switch < 0 || fault_switch >= Topo.switches topo then
+          Error (Printf.sprintf "--fault-switch %d out of range" fault_switch)
+        else begin
+          (* Resolve fault ids against the seeded switch's own route plan
+             (catalogue constructors that need entries, e.g. table names,
+             see what that switch will be programmed with). *)
+          let entries = Routes.entries topo program ~switch:fault_switch in
+          let catalogue =
+            Catalogue.pins program entries
+            @ Catalogue.cerberus program entries
+            @ Catalogue.topo program entries
+          in
+          let faults =
+            List.map
+              (fun id ->
+                match
+                  List.find_opt
+                    (fun (f : Fault.t) -> String.equal f.id id)
+                    catalogue
+                with
+                | Some f -> f
+                | None ->
+                    failwith
+                      (Printf.sprintf "no catalogue fault %S for this model" id))
+              fault_ids
+          in
+          let cfg =
+            { (Fabric_campaign.default_config shape switches) with
+              Fabric_campaign.spines;
+              seed;
+              budget;
+              shards;
+              packet_out = not no_packet_out;
+              faults = (if faults = [] then [] else [ (fault_switch, faults) ]);
+              minimize }
+          in
+          let tele = Telemetry.get () in
+          let incidents, stats =
+            with_trace trace_file (fun () -> Fabric_campaign.run ~jobs program cfg)
+          in
+          let reps, clusters = Fabric_campaign.cluster incidents in
+          let report =
+            { (Report.empty program.Ast.p_name) with
+              Report.fabric_incidents = reps;
+              fabric_stats = Some stats;
+              clusters = Some clusters;
+              telemetry = Some (Telemetry.snapshot tele);
+              coverage = Some (Coverage.of_registry tele program) }
+          in
+          Format.printf "%a@." Report.pp report;
+          (match corpus_file with
+          | None -> ()
+          | Some path ->
+              let fault_ids = List.map (fun (f : Fault.t) -> f.id) faults in
+              let records =
+                List.filter_map
+                  (fun (i : Report.incident) ->
+                    Option.map
+                      (fun repro ->
+                        { Corpus.c_program = report.Report.program_name;
+                          c_detector = Report.detector_to_string i.detector;
+                          c_kind = i.kind;
+                          c_fingerprint = Report.fingerprint i;
+                          c_faults = fault_ids;
+                          c_repro = repro })
+                      i.repro)
+                  (Report.incidents report)
+              in
+              Corpus.save path records;
+              Printf.printf "archived %d reproducer(s) to %s\n"
+                (List.length records) path);
+          if Report.clean report then Ok () else Error "incidents reported"
+        end
+  in
+  let shape_conv =
+    let parse s = Result.map_error (fun m -> `Msg m) (Topo.shape_of_string s) in
+    let print fmt s = Format.pp_print_string fmt (Topo.shape_to_string s) in
+    Arg.conv (parse, print)
+  in
+  let topo_arg =
+    let doc =
+      "Fabric topology: $(b,line), $(b,star), $(b,mesh), or $(b,leaf-spine)."
+    in
+    Arg.(value & opt shape_conv Switchv_topo.Topo.Line & info [ "topo" ] ~docv:"SHAPE" ~doc)
+  in
+  let switches_arg =
+    Arg.(
+      value & opt int 4
+      & info [ "switches" ] ~docv:"N" ~doc:"Number of switches in the fabric.")
+  in
+  let spines_arg =
+    let doc = "Spine count for $(b,--topo leaf-spine) (default 2 when N >= 4)." in
+    Arg.(value & opt (some int) None & info [ "spines" ] ~docv:"S" ~doc)
+  in
+  let fault_switch_arg =
+    let doc = "Switch index the $(b,--fault) ids are seeded into (default 0)." in
+    Arg.(value & opt int 0 & info [ "fault-switch" ] ~docv:"K" ~doc)
+  in
+  let budget_arg =
+    let doc =
+      "Hop budget per flow (default 4*N+8); forwarding loops are cut and \
+       reported when it runs out."
+    in
+    Arg.(value & opt (some int) None & info [ "budget" ] ~docv:"H" ~doc)
+  in
+  let no_packet_out_arg =
+    let doc = "Skip the per-switch packet-out injection flows." in
+    Arg.(value & flag & info [ "no-packet-out" ] ~doc)
+  in
+  let doc =
+    "Run a multi-switch fabric campaign: wire N simulated stacks into a \
+     topology, program routes on every switch, drive end-to-end flows \
+     through both the stack fabric and a reference-model fabric, and \
+     report divergences localized to the introducing switch (hop \
+     fingerprints, per-switch coverage)."
+  in
+  Cmd.v
+    (Cmd.info "fabric" ~doc)
+    Term.(
+      term_result' ~usage:false
+        (const (fun p t sw sp s f fs b np j sh mz tr cf ->
+             match run p t sw sp s f fs b np j sh mz tr cf with
+             | Ok () -> Ok ()
+             | Error m -> Error m)
+        $ model_arg $ topo_arg $ switches_arg $ spines_arg $ seed_arg
+        $ faults_arg $ fault_switch_arg $ budget_arg $ no_packet_out_arg
+        $ jobs_arg $ shards_arg $ minimize_arg $ trace_file_arg
+        $ save_corpus_arg))
+
 (* --- fuzz ------------------------------------------------------------------- *)
 
 let fuzz_cmd =
@@ -636,13 +784,19 @@ let catalogue_cmd =
       | "cerberus" ->
           Catalogue.cerberus Switchv_sai.Cerberus.program
             (entries Switchv_sai.Cerberus.program)
-      | other -> failwith (Printf.sprintf "unknown catalogue %S (pins|cerberus)" other)
+      | "topo" ->
+          Catalogue.topo Switchv_sai.Middleblock.program
+            (entries Switchv_sai.Middleblock.program)
+      | other ->
+          failwith (Printf.sprintf "unknown catalogue %S (pins|cerberus|topo)" other)
     in
     List.iter (fun f -> Format.printf "%a@." Fault.pp f) faults;
     Printf.printf "%d faults\n" (List.length faults)
   in
   let which =
-    Arg.(value & pos 0 string "pins" & info [] ~docv:"STACK" ~doc:"pins or cerberus")
+    Arg.(
+      value & pos 0 string "pins"
+      & info [] ~docv:"STACK" ~doc:"pins, cerberus, or topo")
   in
   let doc = "List the seeded-bug catalogue (the paper's Table 1 population)." in
   Cmd.v (Cmd.info "catalogue" ~doc) Term.(const run $ which)
@@ -861,6 +1015,6 @@ let () =
   exit
     (Cmd.eval
        (Cmd.group info
-          [ validate_cmd; replay_cmd; fuzz_cmd; genpackets_cmd; lint_cmd;
+          [ validate_cmd; fabric_cmd; replay_cmd; fuzz_cmd; genpackets_cmd; lint_cmd;
             trivial_cmd; model_cmd; metrics_cmd; catalogue_cmd; top_cmd;
             trace_export_cmd ]))

@@ -228,8 +228,10 @@ let validate mk_stack config =
   { Report.program_name = (Stack.program data_stack).p_name;
     control_incidents;
     data_incidents;
+    fabric_incidents = [];
     control_stats = Some control_stats;
     data_stats = Some data_stats;
+    fabric_stats = None;
     clusters;
     telemetry = Some (Telemetry.snapshot tele);
     coverage =

@@ -3,19 +3,24 @@ module Repro = Switchv_triage.Repro
 module Fingerprint = Switchv_triage.Fingerprint
 module Coverage = Switchv_obs.Coverage
 
-type detector = Fuzzer | Symbolic
+type detector = Fuzzer | Symbolic | Fabric
 
-let detector_to_string = function Fuzzer -> "p4-fuzzer" | Symbolic -> "p4-symbolic"
+let detector_to_string = function
+  | Fuzzer -> "p4-fuzzer"
+  | Symbolic -> "p4-symbolic"
+  | Fabric -> "p4-fabric"
 
 type context = {
   ctx_table : string option;
   ctx_goal : string option;
   ctx_mutation : string option;
   ctx_batch : int option;
+  ctx_hop : string option;
 }
 
-let context ?table ?goal ?mutation ?batch () =
-  { ctx_table = table; ctx_goal = goal; ctx_mutation = mutation; ctx_batch = batch }
+let context ?table ?goal ?mutation ?batch ?hop () =
+  { ctx_table = table; ctx_goal = goal; ctx_mutation = mutation;
+    ctx_batch = batch; ctx_hop = hop }
 
 type incident = {
   detector : detector;
@@ -34,7 +39,8 @@ let pp_context fmt c =
       [ Option.map (fun t -> "table=" ^ t) c.ctx_table;
         Option.map (fun g -> "goal=" ^ g) c.ctx_goal;
         Option.map (fun m -> "mutation=" ^ m) c.ctx_mutation;
-        Option.map (fun b -> Printf.sprintf "batch=%d" b) c.ctx_batch ]
+        Option.map (fun b -> Printf.sprintf "batch=%d" b) c.ctx_batch;
+        Option.map (fun h -> "hop=" ^ h) c.ctx_hop ]
   in
   if parts <> [] then Format.fprintf fmt " {%s}" (String.concat ", " parts)
 
@@ -50,6 +56,7 @@ let fingerprint i =
     ?table:(get (fun c -> c.ctx_table))
     ?goal:(get (fun c -> c.ctx_goal))
     ?mutation:(get (fun c -> c.ctx_mutation))
+    ?hop:(get (fun c -> c.ctx_hop))
     ~detail:i.detail ()
 
 type cluster = {
@@ -79,12 +86,27 @@ type data_stats = {
   ds_cache_misses : int;
 }
 
+type fabric_stats = {
+  fs_shape : string;
+  fs_switches : int;
+  fs_links : int;
+  fs_flows : int;
+  fs_delivered : int;
+  fs_dropped : int;
+  fs_hops : int;
+  fs_localized : int;
+  fs_duration : float;
+  fs_switch_coverage : (int * int * int) list;
+}
+
 type t = {
   program_name : string;
   control_incidents : incident list;
   data_incidents : incident list;
+  fabric_incidents : incident list;
   control_stats : control_stats option;
   data_stats : data_stats option;
+  fabric_stats : fabric_stats option;
   clusters : cluster list option;
   telemetry : Telemetry.snapshot option;
   coverage : Coverage.t option;
@@ -92,16 +114,17 @@ type t = {
 
 let empty program_name =
   { program_name; control_incidents = []; data_incidents = [];
-    control_stats = None; data_stats = None; clusters = None; telemetry = None;
-    coverage = None }
+    fabric_incidents = []; control_stats = None; data_stats = None;
+    fabric_stats = None; clusters = None; telemetry = None; coverage = None }
 
-let incidents t = t.control_incidents @ t.data_incidents
+let incidents t = t.control_incidents @ t.data_incidents @ t.fabric_incidents
 
 let clean t = incidents t = []
 
 let detected_by t =
   if t.control_incidents <> [] then Some Fuzzer
   else if t.data_incidents <> [] then Some Symbolic
+  else if t.fabric_incidents <> [] then Some Fabric
   else None
 
 let pp fmt t =
@@ -119,6 +142,19 @@ let pp fmt t =
         s.ds_entries_installed s.ds_covered s.ds_goals s.ds_uncoverable
         s.ds_tainted_goals s.ds_packets_tested s.ds_generation_time
         s.ds_testing_time s.ds_cache_hits s.ds_cache_misses
+  | None -> ());
+  (match t.fabric_stats with
+  | Some s ->
+      Format.fprintf fmt
+        "fabric: %s topology, %d switches, %d links; %d flows (%d delivered / %d dropped), %d hops, %d localized, %.2fs@,"
+        s.fs_shape s.fs_switches s.fs_links s.fs_flows s.fs_delivered
+        s.fs_dropped s.fs_hops s.fs_localized s.fs_duration;
+      List.iter
+        (fun (sw, covered, total) ->
+          Format.fprintf fmt "  sw%d coverage: %d/%d edges (%.1f%%)@," sw
+            covered total
+            (if total = 0 then 0. else 100. *. float_of_int covered /. float_of_int total))
+        s.fs_switch_coverage
   | None -> ());
   let all = incidents t in
   if all = [] then Format.fprintf fmt "no incidents@,"
@@ -175,12 +211,33 @@ let data_stats_to_json s =
 
 let opt f = function Some v -> f v | None -> "null"
 
+let fabric_stats_to_json s =
+  Json.obj
+    [ ("shape", Json.str s.fs_shape);
+      ("switches", Json.int s.fs_switches);
+      ("links", Json.int s.fs_links);
+      ("flows", Json.int s.fs_flows);
+      ("delivered", Json.int s.fs_delivered);
+      ("dropped", Json.int s.fs_dropped);
+      ("hops", Json.int s.fs_hops);
+      ("localized", Json.int s.fs_localized);
+      ("duration_s", Json.num s.fs_duration);
+      ( "switch_coverage",
+        Json.arr
+          (List.map
+             (fun (sw, covered, total) ->
+               Json.obj
+                 [ ("switch", Json.int sw); ("covered", Json.int covered);
+                   ("total", Json.int total) ])
+             s.fs_switch_coverage) ) ]
+
 let context_to_json c =
   let field name = function Some v -> [ (name, Json.str v) ] | None -> [] in
   Json.obj
     (field "table" c.ctx_table @ field "goal" c.ctx_goal
     @ field "mutation" c.ctx_mutation
-    @ match c.ctx_batch with Some b -> [ ("batch", Json.int b) ] | None -> [])
+    @ (match c.ctx_batch with Some b -> [ ("batch", Json.int b) ] | None -> [])
+    @ field "hop" c.ctx_hop)
 
 let incident_to_json (origin, i) =
   (* Tag the campaign each incident came from; detector alone is ambiguous
@@ -205,6 +262,7 @@ module Jsonp = Switchv_triage.Jsonp
 let detector_of_string = function
   | "p4-fuzzer" -> Some Fuzzer
   | "p4-symbolic" -> Some Symbolic
+  | "p4-fabric" -> Some Fabric
   | _ -> None
 
 let context_of_json j =
@@ -212,7 +270,8 @@ let context_of_json j =
   { ctx_table = str "table";
     ctx_goal = str "goal";
     ctx_mutation = str "mutation";
-    ctx_batch = Option.bind (Jsonp.member "batch" j) Jsonp.to_int }
+    ctx_batch = Option.bind (Jsonp.member "batch" j) Jsonp.to_int;
+    ctx_hop = str "hop" }
 
 let incident_ipc_to_json i =
   Json.obj
@@ -289,11 +348,13 @@ let to_json t =
       ("clean", Json.bool (clean t));
       ("control_stats", opt control_stats_to_json t.control_stats);
       ("data_stats", opt data_stats_to_json t.data_stats);
+      ("fabric_stats", opt fabric_stats_to_json t.fabric_stats);
       ( "incidents",
         Json.arr
           (List.map incident_to_json
              (List.map (fun i -> ("control", i)) t.control_incidents
-             @ List.map (fun i -> ("data", i)) t.data_incidents)) );
+             @ List.map (fun i -> ("data", i)) t.data_incidents
+             @ List.map (fun i -> ("fabric", i)) t.fabric_incidents)) );
       ( "clusters",
         opt
           (fun clusters ->

@@ -13,7 +13,7 @@ module Telemetry = Switchv_telemetry.Telemetry
 module Repro = Switchv_triage.Repro
 module Fingerprint = Switchv_triage.Fingerprint
 
-type detector = Fuzzer | Symbolic
+type detector = Fuzzer | Symbolic | Fabric
 
 val detector_to_string : detector -> string
 
@@ -22,10 +22,14 @@ type context = {
   ctx_goal : string option;      (** coverage-goal id (data plane) *)
   ctx_mutation : string option;  (** fuzzer mutation in the batch *)
   ctx_batch : int option;        (** 1-based batch index (control plane) *)
+  ctx_hop : string option;
+      (** fabric hop the incident was localized to (["sw<k>"]); feeds the
+          fingerprint's hop dimension *)
 }
 
 val context :
-  ?table:string -> ?goal:string -> ?mutation:string -> ?batch:int -> unit -> context
+  ?table:string -> ?goal:string -> ?mutation:string -> ?batch:int ->
+  ?hop:string -> unit -> context
 
 type incident = {
   detector : detector;
@@ -78,12 +82,29 @@ type data_stats = {
   ds_cache_misses : int;
 }
 
+type fabric_stats = {
+  fs_shape : string;            (** topology shape name *)
+  fs_switches : int;
+  fs_links : int;
+  fs_flows : int;               (** end-to-end flows executed *)
+  fs_delivered : int;           (** switch-side deliveries at edge ports *)
+  fs_dropped : int;             (** switch-side drops/punts/dead hops/loops *)
+  fs_hops : int;                (** switch-side hops traversed *)
+  fs_localized : int;           (** incidents attributed to a hop *)
+  fs_duration : float;
+  fs_switch_coverage : (int * int * int) list;
+      (** per-switch model-edge coverage as (switch, covered, total),
+          from the [topo.sw.<i>.cov.*] counters *)
+}
+
 type t = {
   program_name : string;
   control_incidents : incident list;
   data_incidents : incident list;
+  fabric_incidents : incident list;
   control_stats : control_stats option;
   data_stats : data_stats option;
+  fabric_stats : fabric_stats option;
   clusters : cluster list option;
       (** Fingerprint-dedup summary, present when the harness ran with
           triage dedup: one cluster per distinct fingerprint, counting the
@@ -107,9 +128,9 @@ val clean : t -> bool
 
 val detected_by : t -> detector option
 (** The detector that found the first incident: control-plane incidents
-    attribute to [Fuzzer], data-plane ones to [Symbolic]; when both fired,
-    the fuzzer (which runs first) wins — mirroring "discovered by" in the
-    paper's Table 1. *)
+    attribute to [Fuzzer], data-plane ones to [Symbolic], fabric ones to
+    [Fabric]; when several fired, the earlier campaign wins — mirroring
+    "discovered by" in the paper's Table 1. *)
 
 val pp : Format.formatter -> t -> unit
 
@@ -144,6 +165,8 @@ val control_stats_of_json :
 val merge_control_stats : control_stats list -> control_stats
 (** Field-wise sums; each shard's duration is clamped at [>= 0] before
     summing, so a worker with a stepping clock cannot subtract time. *)
+
+val fabric_stats_to_json : fabric_stats -> string
 
 val to_json : t -> string
 (** Machine-readable one-line JSON rendering (hand-rolled, no

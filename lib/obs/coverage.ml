@@ -35,9 +35,15 @@ let edge_keys program =
     cfg;
   List.sort_uniq String.compare !keys
 
-let of_registry tele program =
+let of_registry ?(prefix = "") tele program =
+  (* [prefix] reads a namespaced copy of the counters (e.g. a fabric
+     campaign's per-switch [topo.sw.<i>.] re-emission) while keeping the
+     canonical unprefixed keys in the map, so per-switch maps render and
+     compare in the same format as the global one. *)
   let entries =
-    List.map (fun k -> (k, Telemetry.counter tele k)) (edge_keys program)
+    List.map
+      (fun k -> (k, Telemetry.counter tele (prefix ^ k)))
+      (edge_keys program)
   in
   let covered = List.length (List.filter (fun (_, c) -> c > 0) entries) in
   { entries; covered; total = List.length entries }

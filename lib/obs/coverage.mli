@@ -26,7 +26,13 @@ val action_key : string -> Switchv_analysis.Cfg.action_role -> string -> string
 val edge_keys : Switchv_p4ir.Ast.program -> string list
 (** Every edge key the program can ever produce, sorted, deduplicated. *)
 
-val of_registry : Switchv_telemetry.Telemetry.t -> Switchv_p4ir.Ast.program -> t
+val of_registry :
+  ?prefix:string -> Switchv_telemetry.Telemetry.t -> Switchv_p4ir.Ast.program -> t
+(** Fold the registry's coverage counters over the program's edge space.
+    [?prefix] (default [""]) reads each key as [prefix ^ key] — used for
+    per-switch fabric coverage, whose counters are re-emitted under
+    [topo.sw.<i>.]; the resulting map still carries canonical unprefixed
+    keys. *)
 
 val percent : t -> float
 (** 100 for an empty edge space. *)

@@ -57,6 +57,16 @@ let catalog =
     ("switch.syncd.sync", "Duration of one syncd state synchronisation.");
     ("switch.write", "Duration of one P4Runtime write request.");
     ("symbolic.attempts_skipped", "Goal attempts skipped because a cached packet already covered the goal.");
+    ("topo.campaign", "Duration of one fabric campaign (setup to merged report).");
+    ("topo.flows", "End-to-end fabric flows executed (edge injections and packet-outs).");
+    ("topo.hops", "Switch-side hops traversed by fabric flows.");
+    ("topo.delivered", "Fabric flows the switch side delivered at an edge port.");
+    ("topo.dropped", "Fabric flows the switch side dropped, punted, lost at a dead hop, or looped.");
+    ("topo.loops_detected", "Fabric traces cut by the hop budget (forwarding loop).");
+    ("topo.crashed_hops", "Fabric traces that reached a crashed switch (dead hop).");
+    ("topo.localized", "Fabric incidents attributed to one switch by hop-differential triage.");
+    ("topo.nondet_admits", "End-to-end mismatches admitted because a hop consulted a hash (set-valued verdict).");
+    ("topo.sw", "Per-switch fabric namespace: coverage counters re-emitted as topo.sw.<i>.cov.*.");
     ("symbolic.encode", "Duration of symbolic encoding of the program.");
     ("symbolic.generate", "Duration of the whole packet-generation pass.");
     ("symbolic.goal", "Duration of solving one coverage goal.");

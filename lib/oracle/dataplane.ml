@@ -151,31 +151,39 @@ let set_admits t (info : Interp.run_info) (switch : Interp.behavior) =
          && masked_equal t info switch.Interp.b_packet model.Interp.b_packet
      | _ -> false)
 
-let judge t ~ingress_port ~bytes ~switch =
+let judge_info t ~ingress_port ~bytes ~switch =
   let tele = Telemetry.get () in
   let info = Interp.run_info t.dp_cfg ~ingress_port bytes in
-  if Interp.behavior_equal switch info.Interp.ri_behavior then begin
-    Telemetry.incr tele "oracle.dataplane_fast";
-    if t.dp_rounds > 1 then
+  let verdict =
+    if Interp.behavior_equal switch info.Interp.ri_behavior then begin
+      Telemetry.incr tele "oracle.dataplane_fast";
+      if t.dp_rounds > 1 then
+        Telemetry.incr tele ~n:(t.dp_rounds - 1) "oracle.enum_rounds_saved";
+      Admitted
+    end
+    else if t.dp_rounds <= 1 then
+      (* Enumeration would run exactly one [Fixed 0] round — reuse it, so
+         hash-free campaigns execute the model the same number of times and
+         produce byte-identical incidents with the pass on or off. *)
+      Diverged [ info.Interp.ri_behavior ]
+    else if set_admits t info switch then begin
+      Telemetry.incr tele "oracle.dataplane_set_admits";
       Telemetry.incr tele ~n:(t.dp_rounds - 1) "oracle.enum_rounds_saved";
-    Admitted
-  end
-  else if t.dp_rounds <= 1 then
-    (* Enumeration would run exactly one [Fixed 0] round — reuse it, so
-       hash-free campaigns execute the model the same number of times and
-       produce byte-identical incidents with the pass on or off. *)
-    Diverged [ info.Interp.ri_behavior ]
-  else if set_admits t info switch then begin
-    Telemetry.incr tele "oracle.dataplane_set_admits";
-    Telemetry.incr tele ~n:(t.dp_rounds - 1) "oracle.enum_rounds_saved";
-    Admitted
-  end
-  else begin
-    (* Escalate: the full round-robin enumeration is the authoritative
-       verdict, so a fast-path refusal can never create a new false
-       positive — only spend the rounds the fast path tried to save. *)
-    Telemetry.incr tele "oracle.dataplane_escalations";
-    let bs = Interp.enumerate_behaviors t.dp_cfg ~ingress_port bytes in
-    if List.exists (Interp.behavior_equal switch) bs then Admitted
-    else Diverged bs
-  end
+      Admitted
+    end
+    else begin
+      (* Escalate: the full round-robin enumeration is the authoritative
+         verdict, so a fast-path refusal can never create a new false
+         positive — only spend the rounds the fast path tried to save. *)
+      Telemetry.incr tele "oracle.dataplane_escalations";
+      let bs = Interp.enumerate_behaviors t.dp_cfg ~ingress_port bytes in
+      if List.exists (Interp.behavior_equal switch) bs then Admitted
+      else Diverged bs
+    end
+  in
+  (verdict, info)
+
+let judge t ~ingress_port ~bytes ~switch =
+  fst (judge_info t ~ingress_port ~bytes ~switch)
+
+let masked_bytes_equal = masked_equal

@@ -57,3 +57,16 @@ val judge :
 (** Compare one switch behaviour against the model. Raises
     {!Interp.Parse_failure} like the underlying interpreter when [bytes]
     does not parse. *)
+
+val judge_info :
+  t -> ingress_port:int -> bytes:string -> switch:Interp.behavior ->
+  verdict * Interp.run_info
+(** Like {!judge}, also returning the reference [Fixed 0] run's info —
+    fabric campaigns use [ri_hash_calls] to tell deterministic hops from
+    hash-consulting ones and [ri_valid] to drive {!masked_bytes_equal} on
+    end-to-end byte comparisons. *)
+
+val masked_bytes_equal : t -> Interp.run_info -> string -> string -> bool
+(** Taint-masked byte equality: walk the run's valid headers in wire
+    order, ignore the bits of exit-tainted fields, compare everything else
+    (including the payload) exactly. *)

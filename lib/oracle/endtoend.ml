@@ -1,0 +1,41 @@
+module Fabric = Switchv_topo.Fabric
+
+type expectation =
+  | Deliver_at of { x_switch : int; x_port : int; x_bytes : string }
+  | Deliver_nowhere
+
+let of_trace (t : Fabric.trace) =
+  match t.Fabric.t_disposition with
+  | Fabric.Delivered { d_switch; d_port; d_bytes } ->
+      Deliver_at { x_switch = d_switch; x_port = d_port; x_bytes = d_bytes }
+  | Fabric.Dropped _ | Fabric.Dead_hop _ | Fabric.Budget_exhausted _ ->
+      Deliver_nowhere
+
+let pp ppf = function
+  | Deliver_at { x_switch; x_port; x_bytes } ->
+      Format.fprintf ppf "deliver at sw%d port %d (%d bytes)" x_switch x_port
+        (String.length x_bytes)
+  | Deliver_nowhere -> Format.fprintf ppf "deliver nowhere"
+
+let check ~bytes_equal expectation (trace : Fabric.trace) =
+  let observed = trace.Fabric.t_disposition in
+  let mismatch () =
+    Error
+      (Format.asprintf "expected %a, observed %a" pp expectation
+         Fabric.pp_disposition observed)
+  in
+  match (expectation, observed) with
+  | Deliver_at x, Fabric.Delivered { d_switch; d_port; d_bytes } ->
+      if x.x_switch = d_switch && x.x_port = d_port && bytes_equal d_bytes x.x_bytes
+      then Ok ()
+      else if x.x_switch = d_switch && x.x_port = d_port then
+        Error
+          (Format.asprintf "delivered at sw%d port %d with wrong bytes"
+             x.x_switch x.x_port)
+      else mismatch ()
+  | Deliver_at _, (Fabric.Dropped _ | Fabric.Dead_hop _ | Fabric.Budget_exhausted _)
+  | Deliver_nowhere, Fabric.Delivered _ ->
+      mismatch ()
+  | Deliver_nowhere, (Fabric.Dropped _ | Fabric.Dead_hop _ | Fabric.Budget_exhausted _)
+    ->
+      Ok ()

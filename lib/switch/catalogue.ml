@@ -349,5 +349,17 @@ let cerberus _program entries =
 
   List.rev !faults
 
+(* Fabric-specific instances (TOPO ids), seedable onto one switch of a
+   multi-switch campaign. Kept out of the PINS/Cerberus lists so their
+   paper-pinned populations (122/32) stay intact. *)
+let topo _program _entries =
+  [ Fault.make ~id:"TOPO-001" ~component:Syncd (Ttl_trap_threshold 63)
+      "TTL trap threshold misprogrammed: chip punts admitted IPv4 arriving \
+       with TTL <= 63 — invisible to TTL-64 edge traffic, bites at hop >= 2";
+    Fault.make ~id:"TOPO-002" ~component:Hardware (Drop_on_port 1)
+      "fabric link port 1 drops all arriving traffic (cut link)";
+    Fault.make ~id:"TOPO-003" ~component:Syncd (Forward_wrong_port_for_port 1)
+      "fabric egress on link port 1 rewritten to the next port" ]
+
 let expected_detector (f : Fault.t) =
   if Fault.is_control_plane f.kind then `Fuzzer else `Symbolic

@@ -19,6 +19,12 @@ val pins : Ast.program -> Entry.t list -> Fault.t list
 val cerberus : Ast.program -> Entry.t list -> Fault.t list
 (** 32 faults across the four Cerberus categories of Table 1. *)
 
+val topo : Ast.program -> Entry.t list -> Fault.t list
+(** Fabric-specific fault instances (TOPO-xxx ids) for multi-switch
+    campaigns — e.g. a TTL trap threshold bug that is invisible to
+    single-hop edge traffic. Kept separate so the PINS/Cerberus
+    populations stay pinned to the paper's counts. *)
+
 val expected_detector : Fault.t -> [ `Fuzzer | `Symbolic ]
 (** Which SwitchV component the catalogue expects to find this fault
     (control-plane kinds → fuzzer, data-plane/sync kinds → symbolic). *)

@@ -64,6 +64,7 @@ type kind =
   | Syncd_offsets_port_arg of string
   | Wcmp_update_removes_member
   | Ttl_trap_always
+  | Ttl_trap_threshold of int
   | Drop_dst_ip of Bitvec.t
   | Punt_ether_type of int
   | Packet_out_punted_back
@@ -97,7 +98,8 @@ let is_control_plane = function
   | Reject_vrf_delete_with_any_routes | P4info_push_fails
   | Crash_on_delete_sequence _ -> true
   | Syncd_drops_table _ | Syncd_offsets_port_arg _ | Wcmp_update_removes_member
-  | Ttl_trap_always | Drop_dst_ip _ | Punt_ether_type _ | Packet_out_punted_back
+  | Ttl_trap_always | Ttl_trap_threshold _ | Drop_dst_ip _ | Punt_ether_type _
+  | Packet_out_punted_back
   | Dscp_remark_zero _ | Drop_on_port _ | Mirror_ignored
   | Submit_to_ingress_dropped | Punt_lost | Encap_reversed_dst
   | Forward_wrong_port_for_port _ -> false

@@ -62,6 +62,8 @@ type kind =
   | Wcmp_update_removes_member
   (* data plane (ASIC / Switch Linux / chip contract / model bugs) *)
   | Ttl_trap_always                           (** chip punts TTL<=1 even when admitted *)
+  | Ttl_trap_threshold of int                 (** chip traps IPv4 with TTL<=n — invisible
+                                                  to edge traffic, bites at hop >= 2 *)
   | Drop_dst_ip of Bitvec.t                   (** drops packets to an address *)
   | Punt_ether_type of int                    (** spurious punt (e.g. LLDP 0x88CC) *)
   | Packet_out_punted_back

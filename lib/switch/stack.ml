@@ -469,6 +469,13 @@ let perturb_behavior t ~ingress_port in_bytes (b : Interp.behavior) =
             match ipv4_field in_bytes 8 1 with
             | Some ttl when ttl <= 1 -> Some { b with b_egress = None; b_punted = true }
             | _ -> None)
+        | Fault.Ttl_trap_threshold n -> (
+            (* Trap threshold misprogrammed: the chip punts IPv4 arrivals
+               with TTL <= n. Invisible to edge traffic injected above the
+               threshold; bites once a path has decremented into it. *)
+            match ipv4_field in_bytes 8 1 with
+            | Some ttl when ttl <= n -> Some { b with b_egress = None; b_punted = true }
+            | _ -> None)
         | Fault.Drop_dst_ip ip -> (
             (* Drops the whole /24 the address identifies (a route's worth of
                traffic), matching how such hardware bugs manifest. *)
@@ -513,15 +520,30 @@ let drop_behavior bytes =
     b_packet = bytes;
     b_trace = [ ("<fault>", "dropped") ] }
 
+let crashed_behavior bytes =
+  { Interp.b_egress = None;
+    b_punted = false;
+    b_mirrors = [];
+    b_packet = bytes;
+    b_trace = [ ("<crashed>", "dropped") ] }
+
 let inject t ~ingress_port bytes =
   Telemetry.with_span (Telemetry.get ()) "switch.inject" @@ fun () ->
   Telemetry.incr (Telemetry.get ()) "switch.packets_injected";
-  match Interp.run (interp_config t) ~ingress_port bytes with
-  | b -> perturb_behavior t ~ingress_port bytes b
-  | exception Interp.Parse_failure _ -> drop_behavior bytes
+  (* A crashed stack is link-dead: everything arriving at it vanishes.
+     Matters for fabrics, where a crashed mid-path switch must read as a
+     drop at the dead hop rather than as a live pipeline. *)
+  if t.is_crashed then crashed_behavior bytes
+  else
+    match Interp.run (interp_config t) ~ingress_port bytes with
+    | b -> perturb_behavior t ~ingress_port bytes b
+    | exception Interp.Parse_failure _ -> drop_behavior bytes
 
 let packet_out t (po : Request.packet_out) =
   Telemetry.with_span (Telemetry.get ()) "switch.packet_out" @@ fun () ->
+  if t.is_crashed then
+    crashed_behavior (Switchv_packet.Packet.to_bytes po.po_payload)
+  else
   let submit_dropped =
     has t (function Fault.Submit_to_ingress_dropped -> true | _ -> false)
   in

@@ -36,9 +36,12 @@ val write : t -> Request.write_request -> Request.write_response
 val read : t -> Request.read_response
 
 val inject : t -> ingress_port:int -> string -> Interp.behavior
-(** Send wire bytes into the data plane. *)
+(** Send wire bytes into the data plane. On a {!crashed} stack the packet
+    is silently dropped (no egress, no punt) — a dead switch is link-dead,
+    which fabric forwarding reports as a drop at the dead hop. *)
 
 val packet_out : t -> Request.packet_out -> Interp.behavior
+(** Same crashed-stack contract as {!inject}. *)
 
 val crashed : t -> bool
 (** True once a fault has driven the switch into an unresponsive state;

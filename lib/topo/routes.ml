@@ -1,0 +1,134 @@
+module Ast = Switchv_p4ir.Ast
+module P4info = Switchv_p4ir.P4info
+module Entry = Switchv_p4runtime.Entry
+module Bitvec = Switchv_bitvec.Bitvec
+module Prefix = Switchv_bitvec.Prefix
+module Ternary = Switchv_bitvec.Ternary
+
+let mac_of_int64 base i =
+  Bitvec.of_int64 ~width:48 (Int64.add base (Int64.of_int (i + 1)))
+
+let router_mac i = mac_of_int64 0x0210_0000_0000L i
+let host_mac i = mac_of_int64 0x0220_0000_0000L i
+
+let mac_string bv =
+  let hex = Bitvec.to_hex_string bv in
+  let hex = String.make (12 - String.length hex) '0' ^ hex in
+  String.concat ":"
+    (List.init 6 (fun i -> String.sub hex (2 * i) 2))
+
+let router_mac_string i = mac_string (router_mac i)
+let host_mac_string i = mac_string (host_mac i)
+
+let host_ip i = Printf.sprintf "10.%d.0.1" (i land 0xff)
+
+let host_prefix i =
+  Prefix.make
+    (Bitvec.of_int ~width:32 ((10 lsl 24) lor ((i land 0xff) lsl 16)))
+    24
+
+let mirror_dscp = 46
+
+(* Forwarding targets of one switch: its own host plus each neighbor.
+   The shared object id doubles as RIF/neighbor/nexthop id. *)
+type target = { tg_id : int; tg_port : int; tg_mac : Bitvec.t }
+
+let entries topo program ~switch =
+  let info = P4info.of_program program in
+  let has t = P4info.find_table info t <> None in
+  let bv16 n = Bitvec.of_int ~width:16 n in
+  let exact16 n = Entry.M_exact (bv16 n) in
+  let single name args = Entry.Single { Entry.ai_name = name; ai_args = args } in
+  let fm field value = { Entry.fm_field = field; fm_value = value } in
+  let tern1 v = Entry.M_ternary (Ternary.exact (Bitvec.of_int ~width:1 v)) in
+  let out = ref [] in
+  let emit e = out := e :: !out in
+  let neighbors = Topo.neighbors topo switch in
+  let host_target =
+    { tg_id = 1; tg_port = Topo.edge_port; tg_mac = host_mac switch }
+  in
+  let via_targets =
+    List.mapi
+      (fun rank peer ->
+        (peer, { tg_id = 2 + rank; tg_port = 1 + rank; tg_mac = router_mac peer }))
+      neighbors
+  in
+  let targets = host_target :: List.map snd via_targets in
+  let routing =
+    has "vrf_table" && has "router_interface_table" && has "neighbor_table"
+    && has "nexthop_table" && has "ipv4_table"
+  in
+  if routing then begin
+    emit
+      (Entry.make ~table:"vrf_table"
+         ~matches:[ fm "vrf_id" (exact16 1) ]
+         (single "no_action" []));
+    List.iter
+      (fun tg ->
+        emit
+          (Entry.make ~table:"router_interface_table"
+             ~matches:[ fm "router_interface_id" (exact16 tg.tg_id) ]
+             (single "set_port_and_src_mac" [ bv16 tg.tg_port; router_mac switch ]));
+        emit
+          (Entry.make ~table:"neighbor_table"
+             ~matches:
+               [ fm "router_interface_id" (exact16 tg.tg_id);
+                 fm "neighbor_id" (exact16 tg.tg_id) ]
+             (single "set_dst_mac" [ tg.tg_mac ]));
+        emit
+          (Entry.make ~table:"nexthop_table"
+             ~matches:[ fm "nexthop_id" (exact16 tg.tg_id) ]
+             (single "set_ip_nexthop" [ bv16 tg.tg_id; bv16 tg.tg_id ])))
+      targets
+  end;
+  if has "mirror_session_table" then
+    emit
+      (Entry.make ~table:"mirror_session_table"
+         ~matches:[ fm "mirror_session_id" (exact16 1) ]
+         (single "set_port_and_src_mac" [ bv16 Topo.edge_port; router_mac switch ]));
+  if routing && has "acl_pre_ingress_table" then
+    emit
+      (Entry.make ~table:"acl_pre_ingress_table" ~priority:1
+         ~matches:[ fm "is_ipv4" (tern1 1) ]
+         (single "set_vrf" [ bv16 1 ]));
+  (match P4info.find_table info "acl_ingress_table" with
+  | Some ti
+    when has "mirror_session_table"
+         && P4info.find_match_field ti "dscp" <> None ->
+      emit
+        (Entry.make ~table:"acl_ingress_table" ~priority:1
+           ~matches:
+             [ fm "is_ipv4" (tern1 1);
+               fm "dscp"
+                 (Entry.M_ternary
+                    (Ternary.exact (Bitvec.of_int ~width:6 mirror_dscp))) ]
+           (single "acl_mirror" [ bv16 1 ]))
+  | Some _ | None -> ());
+  if has "l3_admit_table" then
+    emit
+      (Entry.make ~table:"l3_admit_table" ~priority:1
+         ~matches:[ fm "dst_mac" (Entry.M_ternary (Ternary.exact (router_mac switch))) ]
+         (single "l3_admit" []));
+  if routing then
+    for dst = 0 to Topo.switches topo - 1 do
+      let target_id =
+        if dst = switch then Some host_target.tg_id
+        else
+          match Topo.next_hop topo ~src:switch ~dst with
+          | None -> None
+          | Some hop -> (
+              match List.assoc_opt hop via_targets with
+              | Some tg -> Some tg.tg_id
+              | None -> None)
+      in
+      match target_id with
+      | None -> ()
+      | Some id ->
+          emit
+            (Entry.make ~table:"ipv4_table"
+               ~matches:
+                 [ fm "vrf_id" (exact16 1);
+                   fm "ipv4_dst" (Entry.M_lpm (host_prefix dst)) ]
+               (single "set_nexthop_id" [ bv16 id ]))
+    done;
+  List.rev !out

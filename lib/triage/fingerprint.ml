@@ -80,11 +80,15 @@ let normalize s =
   done;
   Buffer.contents out
 
-let make ~detector ~kind ?table ?goal ?mutation ~detail () =
+let make ~detector ~kind ?table ?goal ?mutation ?hop ~detail () =
   let parts =
     [ detector; kind ]
     @ (match table with Some t -> [ "t=" ^ t ] | None -> [])
     @ (match mutation with Some m -> [ "m=" ^ m ] | None -> [])
+    (* The hop is raw, not normalized: "sw1" must keep its digit — the
+       whole point of the hop dimension is that incidents localized to
+       different switches land in different clusters. *)
+    @ (match hop with Some h -> [ "h=" ^ h ] | None -> [])
     @
     (* Structured context pins the cluster; free text only as fallback. *)
     match (table, goal) with

@@ -21,13 +21,17 @@ val make :
   ?table:string ->
   ?goal:string ->
   ?mutation:string ->
+  ?hop:string ->
   detail:string ->
   unit ->
   t
 (** Build a signature from the structured context when present; the
     normalized goal id (for custom goals with no table) or the normalized
     detail string is used only as a last resort, so enriching an incident
-    with context strictly improves dedup quality. *)
+    with context strictly improves dedup quality. [hop] is the fabric hop
+    dimension (["sw<k>"], the switch an incident was localized to by
+    hop-differential triage); it is embedded raw — digits intact — so
+    incidents on different switches never cluster together. *)
 
 val normalize : string -> string
 (** Replace volatile substrings with ["#"]: hex runs of length >= 4

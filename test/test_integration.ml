@@ -60,13 +60,17 @@ let detect program f =
 let expect_fuzzer name kind () =
   match detect Middleblock.program (fault kind) with
   | Some Report.Fuzzer -> ()
-  | Some Report.Symbolic -> Alcotest.failf "%s found by symbolic, expected fuzzer" name
+  | Some d ->
+      Alcotest.failf "%s found by %s, expected fuzzer" name
+        (Report.detector_to_string d)
   | None -> Alcotest.failf "%s not detected" name
 
 let expect_symbolic name kind () =
   match detect Middleblock.program (fault kind) with
   | Some Report.Symbolic -> ()
-  | Some Report.Fuzzer -> Alcotest.failf "%s found by fuzzer, expected symbolic" name
+  | Some d ->
+      Alcotest.failf "%s found by %s, expected symbolic" name
+        (Report.detector_to_string d)
   | None -> Alcotest.failf "%s not detected" name
 
 (* --- trivial suite ------------------------------------------------------------------ *)

@@ -231,6 +231,10 @@ let test_report_to_json () =
             ~detail:"newline\nand \"quotes\"" ];
       data_incidents =
         [ Report.incident Report.Symbolic ~kind:"behavior divergence" ~detail:"d" ];
+      fabric_incidents =
+        [ Report.incident
+            ~context:(Report.context ~goal:"fabric:std:0->2" ~hop:"sw1" ())
+            Report.Fabric ~kind:"fabric behavior divergence" ~detail:"f" ];
       control_stats =
         Some
           { Report.cs_batches = 2; cs_updates = 10; cs_valid_updates = 7;
@@ -241,6 +245,12 @@ let test_report_to_json () =
             ds_uncoverable = 1; ds_tainted_goals = 0; ds_packets_tested = 8;
             ds_generation_time = 1.5;
             ds_testing_time = 0.5; ds_cache_hits = 0; ds_cache_misses = 9 };
+      fabric_stats =
+        Some
+          { Report.fs_shape = "line"; fs_switches = 3; fs_links = 2;
+            fs_flows = 48; fs_delivered = 33; fs_dropped = 15; fs_hops = 87;
+            fs_localized = 1; fs_duration = 0.02;
+            fs_switch_coverage = [ (0, 26, 54); (1, 26, 54); (2, 26, 54) ] };
       clusters =
         Some
           [ { Report.cl_fingerprint = "p4-fuzzer|status violation|d=x";
