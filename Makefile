@@ -1,6 +1,6 @@
 # Convenience targets; everything is plain dune underneath.
 
-.PHONY: all build check test bench bench-quick micro examples lint-models lint-json replay-corpus check-parallel check-smt check-obs check-taint check-topo clean
+.PHONY: all build check test bench bench-quick micro examples lint-models lint-json replay-corpus check-parallel check-smt check-obs check-taint check-topo check-greybox clean
 
 MODELS = middleblock tor wan cerberus figure2
 
@@ -23,6 +23,7 @@ check:
 	$(MAKE) check-obs
 	$(MAKE) check-taint
 	$(MAKE) check-topo
+	$(MAKE) check-greybox
 
 # Regression-corpus gate: every archived incident in the golden corpus must
 # still reproduce on a stack seeded with the fault it was captured under
@@ -199,6 +200,30 @@ check-topo:
 	cmp /tmp/swv_topo_1.jsonl /tmp/swv_topo_4.jsonl
 	dune exec bench/main.exe -- quick fabric
 	rm -f /tmp/swv_topo_rep.txt /tmp/swv_topo_1.jsonl /tmp/swv_topo_4.jsonl
+
+# Greybox gate, three legs. (1) Determinism: with the feedback loop on
+# (the default), a seeded faulty validation must archive a byte-identical
+# regression corpus at --jobs 1 and --jobs 4 — shard-local novelty maps
+# keep coverage-guided scheduling jobs-invariant. (2) Off-switch:
+# --no-greybox must reproduce the blind (pre-feedback) pipeline exactly —
+# the archived corpus is compared byte-for-byte against a golden corpus
+# captured before the feedback loop existed. (3) Effect: the greybox bench
+# artifact must show guided probing covering strictly more model edges
+# than a budget-matched blind baseline, without losing any catalogued
+# fault. Incident-bearing runs exit non-zero by contract, hence `!`.
+check-greybox:
+	dune build @all
+	rm -f /tmp/swv_gb_1.jsonl /tmp/swv_gb_4.jsonl /tmp/swv_gb_off.jsonl
+	! $(SWITCHV) validate -m middleblock --fault PINS-019 \
+	  --batches 4 --shards 4 --jobs 1 --save-corpus /tmp/swv_gb_1.jsonl >/dev/null
+	! $(SWITCHV) validate -m middleblock --fault PINS-019 \
+	  --batches 4 --shards 4 --jobs 4 --save-corpus /tmp/swv_gb_4.jsonl >/dev/null
+	cmp /tmp/swv_gb_1.jsonl /tmp/swv_gb_4.jsonl
+	! $(SWITCHV) validate -m middleblock --fault PINS-019 --no-greybox \
+	  --batches 4 --shards 4 --jobs 4 --save-corpus /tmp/swv_gb_off.jsonl >/dev/null
+	cmp /tmp/swv_gb_off.jsonl test/fixtures/greybox_blind.golden.jsonl
+	dune exec bench/main.exe -- quick greybox
+	rm -f /tmp/swv_gb_1.jsonl /tmp/swv_gb_4.jsonl /tmp/swv_gb_off.jsonl
 
 test:
 	dune runtest

@@ -1174,6 +1174,163 @@ let fabric_bench () =
     failwith "a seeded fabric fault was missed or localized to the wrong switch"
 
 (* ------------------------------------------------------------------ *)
+(* Greybox: coverage-guided scheduling vs. the blind fuzzer            *)
+(* ------------------------------------------------------------------ *)
+
+let greybox_bench () =
+  banner "Greybox: coverage-guided scheduling vs. blind fuzzing";
+  Printf.printf
+    "Part 1 — edges per packet budget: each fixture runs the control\n\
+     campaign with the feedback loop on (probes scheduled from the corpus,\n\
+     power-schedule mutation targets), then a blind baseline given the\n\
+     exact same injection budget of feedback-free random packets. The\n\
+     guided run must cover strictly more model edges.\n\
+     Part 2 — time to detection: every fault in the catalogue is hunted\n\
+     by the full harness in both modes; guidance must not lose a fault\n\
+     the blind pipeline detects.\n\n";
+  (* --- part 1: edges per N packets ------------------------------------ *)
+  let fixtures =
+    [ ("middleblock", Middleblock.program); ("wan", Wan.program) ]
+  in
+  let batches = if !quick then 8 else 12 in
+  Printf.printf "%-14s %8s %8s %8s %8s %7s\n" "fixture" "packets" "guided"
+    "blind" "corpus" "seeded";
+  Printf.printf "%s\n" (String.make 60 '-');
+  let cov_rows =
+    List.map
+      (fun (name, program) ->
+        let config =
+          { Control_campaign.default_config with batches; seed = 11 }
+        in
+        (* Guided: the campaign's own probe/corpus/power-schedule loop. *)
+        let tele = Telemetry.create () in
+        let covered_guided, probes, seeded =
+          Telemetry.with_registry tele (fun () ->
+              let stack = Stack.create program in
+              ignore (Control_campaign.run stack config);
+              ( (Switchv_obs.Coverage.of_registry tele program)
+                  .Switchv_obs.Coverage.covered,
+                Telemetry.counter tele "fuzzer.greybox.probes",
+                Telemetry.counter tele "fuzzer.greybox.seeded_bases" ))
+        in
+        let corpus = Telemetry.counter tele "fuzzer.greybox.corpus_admitted" in
+        (* Blind baseline: same campaign without feedback, then the same
+           injection budget of fresh random packets — a Greybox instance
+           that never observes draws fresh-only, so this is exactly the
+           feedback-free probe stream. *)
+        let tele_b = Telemetry.create () in
+        let covered_blind =
+          Telemetry.with_registry tele_b (fun () ->
+              let stack = Stack.create program in
+              ignore
+                (Control_campaign.run stack { config with greybox = false });
+              let gb = Switchv_fuzzer.Greybox.create ~program ~seed:11 () in
+              for _ = 1 to probes do
+                let port, bytes = Switchv_fuzzer.Greybox.probe_packet gb in
+                ignore (Stack.inject stack ~ingress_port:port bytes)
+              done;
+              (Switchv_obs.Coverage.of_registry tele_b program)
+                .Switchv_obs.Coverage.covered)
+        in
+        Printf.printf "%-14s %8d %8d %8d %8d %7d\n%!" name probes
+          covered_guided covered_blind corpus seeded;
+        (name, probes, covered_guided, covered_blind, corpus, seeded))
+      fixtures
+  in
+  (* --- part 2: time to detection across the fault catalogue ----------- *)
+  let entries = workload_of Pins in
+  let faults = catalogue_of Pins entries in
+  let faults = if !quick then List.filteri (fun i _ -> i < 6) faults else faults in
+  let hunt greybox fault =
+    let config =
+      { (Harness.default_config entries) with
+        control =
+          { Control_campaign.default_config with
+            batches = (if !quick then 2 else 4);
+            seed = 99 };
+        cache = Some (Cache.in_memory ());
+        greybox }
+    in
+    let mk () = Stack.create ~faults:[ fault ] Middleblock.program in
+    let t0 = now () in
+    let found = Harness.detect mk config in
+    (found, now () -. t0)
+  in
+  Printf.printf "\n%-22s %10s %10s %9s %9s\n" "fault" "guided" "blind"
+    "t.gd(s)" "t.bl(s)";
+  Printf.printf "%s\n" (String.make 66 '-');
+  let det_rows =
+    List.map
+      (fun (fault : Fault.t) ->
+        let found_g, t_g = hunt true fault in
+        let found_b, t_b = hunt false fault in
+        let show = function
+          | Some d -> Report.detector_to_string d
+          | None -> "missed"
+        in
+        Printf.printf "%-22s %10s %10s %8.2fs %8.2fs\n%!" fault.Fault.id
+          (show found_g) (show found_b) t_g t_b;
+        (fault.Fault.id, found_g <> None, found_b <> None, t_g, t_b))
+      faults
+  in
+  let detected which = List.length (List.filter which det_rows) in
+  let n_guided = detected (fun (_, g, _, _, _) -> g) in
+  let n_blind = detected (fun (_, _, b, _, _) -> b) in
+  let lost =
+    List.filter_map
+      (fun (id, g, b, _, _) -> if b && not g then Some id else None)
+      det_rows
+  in
+  let sum f = List.fold_left (fun a r -> a +. f r) 0. det_rows in
+  let t_guided = sum (fun (_, _, _, t, _) -> t) in
+  let t_blind = sum (fun (_, _, _, _, t) -> t) in
+  Printf.printf "%s\n" (String.make 66 '-');
+  Printf.printf
+    "detected: %d/%d guided vs %d/%d blind; total hunt time %.1fs vs %.1fs\n"
+    n_guided (List.length det_rows) n_blind (List.length det_rows) t_guided
+    t_blind;
+  (* Snapshot for trend tracking; committed as BENCH_greybox.json. *)
+  let json =
+    let cov_row (name, probes, g, b, corpus, seeded) =
+      Printf.sprintf
+        "    {\"fixture\": %S, \"packets\": %d, \"edges_guided\": %d, \
+         \"edges_blind\": %d, \"corpus_seeds\": %d, \"seeded_bases\": %d}"
+        name probes g b corpus seeded
+    in
+    let det_row (id, g, b, t_g, t_b) =
+      Printf.sprintf
+        "    {\"fault\": %S, \"detected_guided\": %b, \"detected_blind\": %b, \
+         \"time_guided_s\": %.3f, \"time_blind_s\": %.3f}"
+        id g b t_g t_b
+    in
+    Printf.sprintf
+      "{\n  \"artifact\": \"greybox\",\n  \"edges_per_budget\": [\n%s\n  ],\n  \
+       \"detection\": [\n%s\n  ],\n  \"detected_guided\": %d,\n  \
+       \"detected_blind\": %d,\n  \"total_time_guided_s\": %.1f,\n  \
+       \"total_time_blind_s\": %.1f\n}\n"
+      (String.concat ",\n" (List.map cov_row cov_rows))
+      (String.concat ",\n" (List.map det_row det_rows))
+      n_guided n_blind t_guided t_blind
+  in
+  let oc = open_out "BENCH_greybox.json" in
+  output_string oc json;
+  close_out oc;
+  Printf.printf "wrote BENCH_greybox.json\n";
+  List.iter
+    (fun (name, probes, g, b, _, _) ->
+      if g <= b then
+        failwith
+          (Printf.sprintf
+             "guided covered no more edges than blind on %s (%d vs %d over %d \
+              packets)"
+             name g b probes))
+    cov_rows;
+  if lost <> [] then
+    failwith
+      ("greybox lost faults the blind pipeline detects: "
+      ^ String.concat ", " lost)
+
+(* ------------------------------------------------------------------ *)
 (* Bechamel micro-benchmarks                                           *)
 (* ------------------------------------------------------------------ *)
 
@@ -1238,7 +1395,7 @@ let () =
   let args = List.filter (fun a -> a <> "quick") args in
   let all =
     [ "table1"; "table2"; "table3"; "figure7"; "ablations"; "triage"; "parallel";
-      "smt_incremental"; "taint"; "obs_overhead"; "fabric" ]
+      "smt_incremental"; "taint"; "obs_overhead"; "fabric"; "greybox" ]
   in
   let selected = if args = [] then all else args in
   let t0 = now () in
@@ -1260,13 +1417,14 @@ let () =
       | "taint" -> taint_bench ()
       | "obs_overhead" -> obs_overhead_bench ()
       | "fabric" -> fabric_bench ()
+      | "greybox" -> greybox_bench ()
       | "micro" -> micro ()
       | other ->
           known := false;
           Printf.printf
             "unknown artifact %S (use \
              table1|table2|table3|figure7|ablations|triage|parallel|\
-             smt_incremental|taint|obs_overhead|fabric|micro|quick)\n"
+             smt_incremental|taint|obs_overhead|fabric|greybox|micro|quick)\n"
             other);
       if !known then
         Printf.printf "\ntelemetry %s %s\n" artifact

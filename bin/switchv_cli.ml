@@ -191,6 +191,16 @@ let no_incremental_arg =
   in
   Arg.(value & flag & info [ "no-incremental" ] ~doc)
 
+let no_greybox_arg =
+  let doc =
+    "Disable the coverage-guided greybox feedback loop: no probe packets \
+     after control batches, no coverage-novel corpus, uniform (blind) \
+     mutation scheduling, and no concretely-covered SMT goal skipping. \
+     Reproduces the pre-feedback fuzzer byte-identically at any \
+     $(b,--jobs) (see $(b,make check-greybox))."
+  in
+  Arg.(value & flag & info [ "no-greybox" ] ~doc)
+
 let no_taint_arg =
   let doc =
     "Disable the static taint analysis: solve every branch goal (even \
@@ -235,8 +245,8 @@ let exposition_routes tele program =
 
 let validate_cmd =
   let run program seed scale fault_ids batches cache_dir trace_file corpus_file
-      minimize jobs shards no_incremental no_taint metrics_port coverage_out
-      progress =
+      minimize jobs shards no_incremental no_taint no_greybox metrics_port
+      coverage_out progress =
     let entries = workload program scale seed in
     let faults = resolve_faults program entries fault_ids in
     let mk () = Stack.create ~faults program in
@@ -248,7 +258,8 @@ let validate_cmd =
         jobs;
         data_shards = shards;
         incremental = not no_incremental;
-        taint = not no_taint }
+        taint = not no_taint;
+        greybox = not no_greybox }
     in
     let tele = Telemetry.get () in
     let server =
@@ -337,14 +348,14 @@ let validate_cmd =
     (Cmd.info "validate" ~doc)
     Term.(
       term_result' ~usage:false
-        (const (fun p s sc f b c t cf mz j sh ni nt mp co pr ->
-             match run p s sc f b c t cf mz j sh ni nt mp co pr with
+        (const (fun p s sc f b c t cf mz j sh ni nt ng mp co pr ->
+             match run p s sc f b c t cf mz j sh ni nt ng mp co pr with
              | Ok () -> Ok ()
              | Error (_, m) -> Error m)
         $ model_arg $ seed_arg $ scale_arg $ faults_arg $ batches_arg $ cache_dir_arg
         $ trace_file_arg $ save_corpus_arg $ minimize_arg $ jobs_arg $ shards_arg
-        $ no_incremental_arg $ no_taint_arg $ metrics_port_arg $ coverage_out_arg
-        $ progress_arg))
+        $ no_incremental_arg $ no_taint_arg $ no_greybox_arg $ metrics_port_arg
+        $ coverage_out_arg $ progress_arg))
 
 (* --- replay ---------------------------------------------------------------- *)
 
@@ -551,23 +562,30 @@ let fabric_cmd =
 (* --- fuzz ------------------------------------------------------------------- *)
 
 let fuzz_cmd =
-  let run program seed fault_ids batches =
+  let run program seed fault_ids batches no_greybox =
     let entries = workload program 0.1 seed in
     let faults = resolve_faults program entries fault_ids in
     let stack = Stack.create ~faults program in
     let incidents, stats =
-      Control_campaign.run stack { Control_campaign.default_config with batches; seed }
+      Control_campaign.run stack
+        { Control_campaign.default_config with
+          batches; seed; greybox = not no_greybox }
     in
     Printf.printf "%d batches, %d updates (%d valid / %d invalid) in %.2fs\n"
       stats.cs_batches stats.cs_updates stats.cs_valid_updates stats.cs_invalid_updates
       stats.cs_duration;
+    if stats.cs_novel_edges > 0 || stats.cs_corpus_seeds > 0 then
+      Printf.printf "greybox: %d novel edges, %d corpus seeds\n"
+        stats.cs_novel_edges stats.cs_corpus_seeds;
     List.iter (fun i -> Format.printf "%a@." Report.pp_incident i) incidents;
     Printf.printf "%d incident(s)\n" (List.length incidents)
   in
   let doc = "Run the control-plane fuzzing campaign only (p4-fuzzer + oracle)." in
   Cmd.v
     (Cmd.info "fuzz" ~doc)
-    Term.(const run $ model_arg $ seed_arg $ faults_arg $ batches_arg)
+    Term.(
+      const run $ model_arg $ seed_arg $ faults_arg $ batches_arg
+      $ no_greybox_arg)
 
 (* --- genpackets ---------------------------------------------------------------- *)
 

@@ -1,5 +1,6 @@
 module Stack = Switchv_switch.Stack
 module Fuzzer = Switchv_fuzzer.Fuzzer
+module Greybox = Switchv_fuzzer.Greybox
 module Oracle = Switchv_oracle.Oracle
 module Request = Switchv_p4runtime.Request
 module Status = Switchv_p4runtime.Status
@@ -16,11 +17,18 @@ type config = {
   seed : int;
   max_incidents : int;
   shards : int;
+  greybox : bool;
 }
 
 let default_config =
   { batches = 20; fuzzer_config = Fuzzer.default_config; seed = 7;
-    max_incidents = 25; shards = 1 }
+    max_incidents = 25; shards = 1; greybox = true }
+
+(* Probe packets injected after each batch with the feedback loop on:
+   control batches execute no packets themselves, so the probes are what
+   turn installed state into coverage deltas the scheduler can learn
+   from. *)
+let probes_per_batch = 2
 
 (* One shard of the campaign: a fresh stack, a fresh fuzzer seeded with
    [seed + shard], and this shard's slice of the batch budget. The
@@ -56,9 +64,20 @@ let run_shard ?(push_p4info = true) stack config ~shard =
          ~repro:(Repro.Control { cr_seed = seed; cr_prefix = []; cr_batch = [] })
          (Format.asprintf "Set P4Info failed: %a" Status.pp s)
    end);
+  (* Shard-local feedback state: starts empty and sees only this shard's
+     own execution deltas, so scheduling is a pure function of
+     (config, shard) — see the determinism note in [Greybox]. *)
+  let greybox =
+    if config.greybox then
+      Some (Greybox.create ~program:(Stack.program stack) ~seed ())
+    else None
+  in
   if !incidents = [] then
     Telemetry.with_span (Telemetry.get ()) "campaign.control" (fun () ->
-    let fuzzer = Fuzzer.create ~config:config.fuzzer_config (Stack.info stack) (Rng.create seed) in
+    let fuzzer =
+      Fuzzer.create ~config:config.fuzzer_config ?greybox (Stack.info stack)
+        (Rng.create seed)
+    in
     let oracle = Oracle.create (Stack.info stack) in
     let process annotated =
       incr n_batches;
@@ -119,6 +138,34 @@ let run_shard ?(push_p4info = true) stack config ~shard =
               batch_incidents
           end);
       prefix := read_back.entries;
+      (* Feedback: inject a few probe packets through the state this batch
+         left behind and fold the coverage delta into the novelty map.
+         Probes that reached shard-novel edges enter the corpus themselves,
+         and the batch that set up the state is credited alongside them. *)
+      (match greybox with
+      | Some gb when not (Stack.crashed stack) ->
+          let tele = Telemetry.get () in
+          let tables =
+            List.sort_uniq String.compare
+              (List.map (fun (u : Request.update) -> u.entry.e_table) updates)
+          in
+          let novel = ref 0 in
+          for _ = 1 to probes_per_batch do
+            let before = Greybox.snapshot gb tele in
+            let port, bytes = Greybox.probe_packet gb in
+            Telemetry.incr tele "fuzzer.greybox.probes";
+            ignore (Stack.inject stack ~ingress_port:port bytes);
+            novel :=
+              !novel
+              + Greybox.observe gb tele ~before ~tables
+                  ~seed:(Greybox.Packet (port, bytes)) ()
+          done;
+          if !novel > 0 then
+            Greybox.admit gb
+              (Greybox.Batch
+                 (List.map (fun (u : Request.update) -> u.entry) updates))
+              ~energy:!novel
+      | _ -> ());
       (* A wedged switch cannot produce more signal; stop the campaign. *)
       if Stack.crashed stack then raise Exit
     in
@@ -141,6 +188,10 @@ let run_shard ?(push_p4info = true) stack config ~shard =
       cs_updates = !n_updates;
       cs_valid_updates = !n_valid;
       cs_invalid_updates = !n_invalid;
+      cs_novel_edges =
+        (match greybox with Some gb -> Greybox.novel_edges gb | None -> 0);
+      cs_corpus_seeds =
+        (match greybox with Some gb -> Greybox.corpus_size gb | None -> 0);
       cs_duration = Telemetry.Clock.duration ~since:start }
   in
   (List.rev !incidents, stats)

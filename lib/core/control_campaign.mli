@@ -23,6 +23,12 @@ type config = {
       (** Number of independent seed-range shards ([1] = the historical
           single-stack campaign). Changing it changes which batches are
           fuzzed; changing [jobs] never does. *)
+  greybox : bool;
+      (** Coverage-guided feedback ({!Switchv_fuzzer.Greybox}): probe
+          packets after every batch, a corpus of coverage-novel inputs,
+          and energy-weighted mutation scheduling. Shard-local state keeps
+          the campaign byte-identical at any [jobs]. [false] reproduces
+          the blind (pre-feedback) fuzzer exactly. On by default. *)
 }
 
 val default_config : config

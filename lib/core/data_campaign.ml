@@ -1,4 +1,5 @@
 module Stack = Switchv_switch.Stack
+module Greybox = Switchv_fuzzer.Greybox
 module Entry = Switchv_p4runtime.Entry
 module Request = Switchv_p4runtime.Request
 module Status = Switchv_p4runtime.Status
@@ -30,13 +31,22 @@ type config = {
   shards : int;
   incremental : bool;
   taint : bool;
+  greybox : bool;
+      (* per-packet coverage-delta capture + corpus admission (slice-local,
+         jobs-deterministic); feeds the fuzzer.greybox.* totals *)
+  covered_edges : string list;
+      (* edges the caller already covered concretely (the harness passes
+         the control campaign's delta): branch goals over them skip SMT.
+         Threaded explicitly — never read from the ambient registry — so a
+         campaign's goal list is a pure function of its config, not of
+         whatever ran earlier in the process. *)
 }
 
 let default_config entries =
   { entries; ports = [ 1; 2; 3; 4 ]; extra_goals = (fun _ -> []);
     include_branch_goals = true; prune_dead_goals = true;
     cache = None; max_incidents = 25; test_packet_io = true; shards = 1;
-    incremental = true; taint = true }
+    incremental = true; taint = true; greybox = true; covered_edges = [] }
 
 let exploratory_goals (enc : Symexec.encoding) =
   let ether_type = Term.var (Symexec.field_var ~header:"ethernet" ~field:"ether_type") 16 in
@@ -173,6 +183,14 @@ type slice_result = {
    sequential campaign's list. *)
 let run_slice stack config ~oracle ~encoding ~base_incidents (offset, goals) =
   let tele = Telemetry.get () in
+  (* Slice-local feedback state (empty novelty map, seed derived from the
+     slice's global offset): what a packet's execution contributes depends
+     only on (config, slice), never on which process ran it. *)
+  let greybox =
+    if config.greybox then
+      Some (Greybox.create ~program:(Stack.program stack) ~seed:(0x5eed + offset) ())
+    else None
+  in
   let sl_incidents = ref [] in
   let n_incidents = ref base_incidents in
   let add ?context ?repro kind detail =
@@ -215,7 +233,23 @@ let run_slice stack config ~oracle ~encoding ~base_incidents (offset, goals) =
                   { dr_entries = config.entries; dr_port = tp.tp_port;
                     dr_bytes = bytes }
               in
+              let before =
+                Option.map (fun gb -> Greybox.snapshot gb tele) greybox
+              in
               let switch_b = Stack.inject stack ~ingress_port:tp.tp_port bytes in
+              (* Delta capture before the oracle runs, so the model's own
+                 counter bumps don't pollute the switch-side observation. *)
+              (match (greybox, before) with
+              | Some gb, Some before ->
+                  let tables =
+                    match tp.tp_kind with
+                    | Packetgen.G_entry { ge_table; _ } -> [ ge_table ]
+                    | _ -> []
+                  in
+                  ignore
+                    (Greybox.observe gb tele ~before ~tables
+                       ~seed:(Greybox.Packet (tp.tp_port, bytes)) ())
+              | _ -> ());
               match
                 Dataplane.judge oracle ~ingress_port:tp.tp_port ~bytes
                   ~switch:switch_b
@@ -385,7 +419,21 @@ let run ?(push_p4info = true) ?(jobs = 1) stack config =
           if config.taint then Packetgen.prune_tainted_goals taint_summary goals
           else goals
         in
-        (encoding, goals, before_taint - List.length goals, taint_summary))
+        let tainted = before_taint - List.length goals in
+        (* Greybox shortcut: branch goals whose edge the caller's campaign
+           already covered concretely skip the solver. [covered_edges] is a
+           config input computed once by the caller (jobs-invariant), so
+           the slice decomposition below still depends only on config. *)
+        let goals =
+          match config.covered_edges with
+          | [] -> goals
+          | covered ->
+              let set = Hashtbl.create 64 in
+              List.iter (fun k -> Hashtbl.replace set k ()) covered;
+              Packetgen.prune_concretely_covered ~covered:(Hashtbl.mem set)
+                goals
+        in
+        (encoding, goals, tainted, taint_summary))
   in
   let oracle = Dataplane.create model_cfg ~taint:taint_summary in
   let prep_s = Telemetry.Clock.duration ~since:prep_start in

@@ -51,6 +51,21 @@ type config = {
           enumerating hash rounds. Escalation makes the verdicts
           fault-equivalent; on hash-free programs, incidents and corpus
           output are byte-identical either way. *)
+  greybox : bool;
+      (** Capture the coverage-counter delta of every injected test packet
+          into a slice-local {!Switchv_fuzzer.Greybox} novelty map and
+          admit coverage-novel packets to its corpus (on by default).
+          Observation only — it never alters which packets are generated
+          or injected — and slice-local, so results stay byte-identical at
+          any [jobs]. *)
+  covered_edges : string list;
+      (** Coverage edges ([cov.…] keys) the caller's earlier campaign
+          already drove concretely; branch goals over them skip the SMT
+          stage ({!Packetgen.prune_concretely_covered},
+          [analysis.concretely_covered_skipped]). Threaded explicitly by
+          the harness (the control campaign's counter delta) rather than
+          read from the ambient registry, so a campaign's goal list is a
+          pure function of its config. Empty by default — no filtering. *)
 }
 
 val default_config : Entry.t list -> config

@@ -28,6 +28,7 @@ type config = {
   data_shards : int;
   incremental : bool;
   taint : bool;
+  greybox : bool;
 }
 
 (* Entries readable from a switch come back in insertion order of the
@@ -75,7 +76,8 @@ let default_config entries =
     jobs = 1;
     data_shards = 1;
     incremental = true;
-    taint = true }
+    taint = true;
+    greybox = true }
 
 (* Shrink a reproducer to a 1-minimal input: each ddmin probe replays a
    candidate against a freshly provisioned stack. Sound because a clean
@@ -162,9 +164,29 @@ let validate mk_stack config =
      [control_stack], so the fuzzed-entry harvest below sees the switch
      state it left behind even when the other shards ran in workers. *)
   let control_stack = mk_stack () in
+  (* Snapshot the coverage counters before the control campaign: the delta
+     afterwards is the edge set that campaign drove concretely, which the
+     data campaign uses to skip already-covered branch goals. Worker shard
+     deltas are absorbed into this registry before [run_sharded] returns,
+     so the delta — hence the data campaign's goal list — is the same at
+     any [jobs]. *)
+  let cov_keys =
+    if config.greybox then
+      Switchv_obs.Coverage.edge_keys (Stack.program control_stack)
+    else []
+  in
+  let cov_before = List.map (fun k -> Telemetry.counter tele k) cov_keys in
   let control_incidents, control_stats =
     Control_campaign.run_sharded ~jobs:config.jobs ~stack0:control_stack mk_stack
-      { config.control with max_incidents = config.max_incidents }
+      { config.control with
+        max_incidents = config.max_incidents;
+        greybox = config.greybox }
+  in
+  let covered_edges =
+    List.filter_map
+      (fun (k, before) ->
+        if Telemetry.counter tele k > before then Some k else None)
+      (List.combine cov_keys cov_before)
   in
   (* §7 extension: harvest the entries the fuzzing campaign left on the
      switch (filtered to ones valid for the model — a buggy switch may
@@ -195,6 +217,8 @@ let validate mk_stack config =
       shards = config.data_shards;
       incremental = config.incremental;
       taint = config.taint;
+      greybox = config.greybox;
+      covered_edges;
       extra_goals =
         (if config.exploratory then Data_campaign.exploratory_goals else fun _ -> []) }
   in
@@ -210,7 +234,9 @@ let validate mk_stack config =
           max_incidents = config.max_incidents;
           test_packet_io = false;
           incremental = config.incremental;
-          taint = config.taint }
+          taint = config.taint;
+          greybox = config.greybox;
+          covered_edges }
       in
       let incidents, _ = Data_campaign.run stack cfg in
       List.map

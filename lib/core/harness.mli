@@ -57,6 +57,14 @@ type config = {
       (** Taint-aware goal classification and set-valued data-plane
           verdicts (on by default; see {!Data_campaign.config}[.taint]).
           Applies to the main and the fuzzed-entry data passes. *)
+  greybox : bool;
+      (** Coverage-guided feedback across both campaigns (on by default):
+          the control fuzzer runs its probe/corpus/power-schedule loop
+          (overrides [control.greybox]), and the data campaigns observe
+          per-packet deltas and skip branch goals the control phase
+          already covered concretely ([covered_edges] computed here from
+          the registry delta, jobs-invariant). [false] reproduces the
+          blind pre-feedback pipeline byte-identically. *)
 }
 
 val default_config : Entry.t list -> config

@@ -70,6 +70,8 @@ type control_stats = {
   cs_updates : int;
   cs_valid_updates : int;
   cs_invalid_updates : int;
+  cs_novel_edges : int;
+  cs_corpus_seeds : int;
   cs_duration : float;
 }
 
@@ -133,7 +135,12 @@ let pp fmt t =
   | Some s ->
       Format.fprintf fmt
         "control plane: %d batches, %d updates (%d valid / %d invalid) in %.2fs@,"
-        s.cs_batches s.cs_updates s.cs_valid_updates s.cs_invalid_updates s.cs_duration
+        s.cs_batches s.cs_updates s.cs_valid_updates s.cs_invalid_updates s.cs_duration;
+      (* Only with the feedback loop on: --no-greybox reports stay
+         byte-identical to the pre-greybox format. *)
+      if s.cs_novel_edges > 0 || s.cs_corpus_seeds > 0 then
+        Format.fprintf fmt "greybox: %d novel edges, %d corpus seeds@,"
+          s.cs_novel_edges s.cs_corpus_seeds
   | None -> ());
   (match t.data_stats with
   | Some s ->
@@ -195,6 +202,8 @@ let control_stats_to_json s =
     [ ("batches", Json.int s.cs_batches); ("updates", Json.int s.cs_updates);
       ("valid_updates", Json.int s.cs_valid_updates);
       ("invalid_updates", Json.int s.cs_invalid_updates);
+      ("novel_edges", Json.int s.cs_novel_edges);
+      ("corpus_seeds", Json.int s.cs_corpus_seeds);
       ("duration_s", Json.num s.cs_duration) ]
 
 let data_stats_to_json s =
@@ -323,12 +332,15 @@ let control_stats_of_json j =
   let* cs_updates = int "updates" in
   let* cs_valid_updates = int "valid_updates" in
   let* cs_invalid_updates = int "invalid_updates" in
+  let* cs_novel_edges = int "novel_edges" in
+  let* cs_corpus_seeds = int "corpus_seeds" in
   let* cs_duration = num "duration_s" in
-  Ok { cs_batches; cs_updates; cs_valid_updates; cs_invalid_updates; cs_duration }
+  Ok { cs_batches; cs_updates; cs_valid_updates; cs_invalid_updates;
+       cs_novel_edges; cs_corpus_seeds; cs_duration }
 
 let empty_control_stats =
   { cs_batches = 0; cs_updates = 0; cs_valid_updates = 0; cs_invalid_updates = 0;
-    cs_duration = 0. }
+    cs_novel_edges = 0; cs_corpus_seeds = 0; cs_duration = 0. }
 
 let merge_control_stats ss =
   (* Durations are clamped at zero per shard: a worker whose clock stepped
@@ -339,6 +351,11 @@ let merge_control_stats ss =
         cs_updates = acc.cs_updates + s.cs_updates;
         cs_valid_updates = acc.cs_valid_updates + s.cs_valid_updates;
         cs_invalid_updates = acc.cs_invalid_updates + s.cs_invalid_updates;
+        (* Shard-local novelty counts: the sum can double-count an edge two
+           shards each discovered independently — reported as the total
+           feedback signal observed, not a global distinct-edge count. *)
+        cs_novel_edges = acc.cs_novel_edges + s.cs_novel_edges;
+        cs_corpus_seeds = acc.cs_corpus_seeds + s.cs_corpus_seeds;
         cs_duration = acc.cs_duration +. Float.max 0. s.cs_duration })
     empty_control_stats ss
 

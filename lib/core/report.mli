@@ -64,6 +64,10 @@ type control_stats = {
   cs_updates : int;
   cs_valid_updates : int;
   cs_invalid_updates : int;
+  cs_novel_edges : int;
+      (** greybox: edges first covered by this campaign's probes (summed
+          over shards, so an edge two shards discovered counts twice) *)
+  cs_corpus_seeds : int;  (** greybox: coverage-novel inputs kept *)
   cs_duration : float;
 }
 

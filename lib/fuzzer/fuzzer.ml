@@ -34,11 +34,15 @@ type t = {
   dead : (string, bool) Hashtbl.t;
       (* tables whose restriction is unsatisfiable (analysis code P4A004):
          valid-insert generation skips them *)
+  greybox : Greybox.t option;
+      (* coverage feedback: energy-weighted table choice and corpus-seeded
+         mutation bases. [None] draws uniformly from [rng] only, exactly
+         the pre-greybox stream. *)
 }
 
-let create ?(config = default_config) info rng =
+let create ?(config = default_config) ?greybox info rng =
   { info; rng; config; mirror_ = State.create (); bdds = Hashtbl.create 8;
-    dead = Hashtbl.create 8 }
+    dead = Hashtbl.create 8; greybox }
 
 (* Compile a table's entry restriction to a BDD over the bits of the keys
    it references (§7). Unsupported shapes (LPM keys, ::prefix_length)
@@ -366,7 +370,11 @@ let skip_dead t ti =
 let rec gen_valid_insert t ctx attempts =
   if attempts = 0 then None
   else begin
-    let ti = Rng.choose t.rng t.info.pi_tables in
+    let ti =
+      match t.greybox with
+      | Some gb -> Greybox.pick_table gb t.info.pi_tables
+      | None -> Rng.choose t.rng t.info.pi_tables
+    in
     if skip_dead t ti then gen_valid_insert t ctx (attempts - 1)
     else
       match gen_entry t ctx ti with
@@ -513,7 +521,11 @@ let mutate t ctx (e : Entry.t) mutation : Entry.t option =
   | "invalid_action_selector_weight", _ -> (
       match e.e_action with
       | Entry.Weighted ((ai, _) :: rest) ->
-          Some { e with e_action = Entry.Weighted ((ai, -1 * Rng.int t.rng 2) :: rest) }
+          (* Strictly negative: [-1 * Rng.int t.rng 2] yielded weight 0 half
+             the time, a possibly-valid update mislabeled as this invalid
+             mutation (flaky oracle verdicts). Same single draw, so the RNG
+             stream is unchanged. *)
+          Some { e with e_action = Entry.Weighted ((ai, -1 - Rng.int t.rng 2) :: rest) }
       | _ -> None)
   | "invalid_table_implementation", _ -> (
       match e.e_action with
@@ -647,12 +659,23 @@ let mutate t ctx (e : Entry.t) mutation : Entry.t option =
 (* --- batch generation ---------------------------------------------------------- *)
 
 let gen_base t ctx =
-  match gen_valid_insert t ctx 10 with
+  (* Seed pool: with feedback enabled, some mutation bases come from
+     corpus batches that reached novel edges — mutations of inputs the
+     switch handled in an interesting way probe nearby behavior. *)
+  let seeded =
+    match t.greybox with
+    | Some gb -> Greybox.pick_seed_entry gb
+    | None -> None
+  in
+  match seeded with
   | Some e -> Some e
   | None -> (
-      match State.all t.mirror_ with
-      | [] -> None
-      | es -> Some (Rng.choose t.rng es))
+      match gen_valid_insert t ctx 10 with
+      | Some e -> Some e
+      | None -> (
+          match State.all t.mirror_ with
+          | [] -> None
+          | es -> Some (Rng.choose t.rng es)))
 
 let try_mutation t ctx mutation =
   match mutation with

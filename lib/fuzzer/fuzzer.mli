@@ -35,7 +35,12 @@ val default_config : config
 
 type t
 
-val create : ?config:config -> P4info.t -> Rng.t -> t
+val create : ?config:config -> ?greybox:Greybox.t -> P4info.t -> Rng.t -> t
+(** [greybox] plugs in a coverage-feedback state ({!Greybox}): valid-insert
+    table choice becomes energy-weighted and some mutation bases come from
+    the corpus. Without it (or before any feedback arrives) generation is
+    exactly the blind fuzzer — greybox draws use a private generator, so
+    the [rng] stream is untouched. *)
 
 val mirror : t -> State.t
 (** The fuzzer's view of what should be installed, assuming the switch

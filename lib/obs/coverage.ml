@@ -20,8 +20,17 @@ let action_key table role aname =
    use: two keys per condition node (branch ids match Symexec/Interp
    numbering) and one per table-action edge. Sorted and deduplicated — a
    table applied from several places contributes one set of action edges,
-   which is also what the interpreter's counters observe. *)
-let edge_keys program =
+   which is also what the interpreter's counters observe.
+
+   Memoized by physical equality on the program value: fabric campaigns
+   call [of_registry] once per switch per report over the same shared
+   program, and the greybox scheduler snapshots the key list around every
+   injection — rebuilding the CFG each time made both O(calls * |CFG|).
+   The cache is small and bounded; a new program value evicts the
+   oldest entry. *)
+let edge_keys_cache : (Ast.program * string list) list ref = ref []
+
+let compute_edge_keys program =
   let cfg = Cfg.build program in
   let keys = ref [] in
   Cfg.iter
@@ -34,6 +43,16 @@ let edge_keys program =
       | _ -> ())
     cfg;
   List.sort_uniq String.compare !keys
+
+let edge_keys program =
+  match List.find_opt (fun (p, _) -> p == program) !edge_keys_cache with
+  | Some (_, keys) -> keys
+  | None ->
+      let keys = compute_edge_keys program in
+      edge_keys_cache :=
+        (program, keys)
+        :: List.filteri (fun i _ -> i < 7) !edge_keys_cache;
+      keys
 
 let of_registry ?(prefix = "") tele program =
   (* [prefix] reads a namespaced copy of the counters (e.g. a fabric
@@ -62,8 +81,11 @@ let to_string t =
   List.iter (fun (k, c) -> Printf.bprintf b "%s %d\n" k c) t.entries;
   Buffer.contents b
 
+(* pid-unique temp name (same convention as the cache store): two
+   concurrent runs pointed at the same --coverage-out must not clobber
+   each other's half-written temp file. *)
 let write_file t path =
-  let tmp = path ^ ".tmp" in
+  let tmp = Printf.sprintf "%s.tmp.%d" path (Unix.getpid ()) in
   let oc = open_out tmp in
   output_string oc (to_string t);
   close_out oc;

@@ -15,6 +15,7 @@ let catalog =
     ("analysis.diagnostics_warning", "Warning-severity diagnostics from static analysis.");
     ("analysis.diagnostics_info", "Info-severity diagnostics from static analysis.");
     ("analysis.goals_pruned", "Symbolic goals discharged statically (dead-branch pruning) instead of solved.");
+    ("analysis.concretely_covered_skipped", "Branch goals skipped before SMT because greybox probes already covered their edge concretely.");
     ("analysis.tainted_goals", "Branch goals classified tainted (path crosses a hash/selector-tainted branch) and excluded from SMT solving.");
     ("cache.hits", "Packet-cache lookups answered without solving.");
     ("cache.misses", "Packet-cache lookups that required a solver call.");
@@ -29,6 +30,12 @@ let catalog =
     ("fuzzer.batches", "Update batches produced by the control-plane fuzzer.");
     ("fuzzer.updates", "Total updates produced by the control-plane fuzzer.");
     ("fuzzer.mutated_updates", "Fuzzer updates that went through a mutation pass.");
+    ("fuzzer.greybox.probes", "Probe packets injected after control batches to harvest coverage deltas.");
+    ("fuzzer.greybox.novel_edges", "Coverage edges first reached by a shard's greybox observations (summed over shards).");
+    ("fuzzer.greybox.corpus_admitted", "Coverage-novel inputs (batches and packets) admitted to greybox corpora.");
+    ("fuzzer.greybox.energy_assigned", "Energy units credited to tables whose state reached novel edges.");
+    ("fuzzer.greybox.weighted_picks", "Valid-insert table choices made by the energy-weighted power schedule.");
+    ("fuzzer.greybox.seeded_bases", "Mutation bases drawn from the greybox corpus instead of generated fresh.");
     ("goals.total", "Symbolic coverage goals planned for this campaign.");
     ("harness.validate", "End-to-end duration of one validation run.");
     ("oracle.batches_judged", "Update batches compared against the P4Runtime reference oracle.");

@@ -45,13 +45,14 @@ let truncate_to_last_newline path =
         if keep <> size then Unix.ftruncate fd keep
       end
 
-(* Stream trace events to [path ^ ".tmp"], and on the way out — normal
-   return, exception, or Sys.Break from SIGINT — flush, drop any torn
-   final line, and atomically rename into place. An interrupted campaign
-   therefore leaves either no trace file or a whole one, never a file
-   ending mid-event. *)
+(* Stream trace events to a pid-unique temp file, and on the way out —
+   normal return, exception, or Sys.Break from SIGINT — flush, drop any
+   torn final line, and atomically rename into place. An interrupted
+   campaign therefore leaves either no trace file or a whole one, never a
+   file ending mid-event; concurrent runs pointed at the same --trace
+   never clobber each other's temp mid-write. *)
 let with_file_sink tele path f =
-  let tmp = path ^ ".tmp" in
+  let tmp = Printf.sprintf "%s.tmp.%d" path (Unix.getpid ()) in
   let oc = open_out tmp in
   let publish () =
     (try close_out oc with Sys_error _ -> ());

@@ -151,6 +151,25 @@ let prune_tainted_goals (taint : Switchv_analysis.Taint.summary) goals =
     "analysis.tainted_goals";
   kept
 
+let prune_concretely_covered ~covered goals =
+  (* Greybox shortcut: a branch arm the campaign's own probe packets
+     already drove concretely needs no SMT witness — the coverage it would
+     buy is in hand. Only branch goals are dropped: they map 1:1 onto a
+     [cov.branch.<id>.<arm>] edge. Entry goals share their action edges
+     with other entries of the table, so "edge covered" would not imply
+     "this entry exercised" — they are kept as the primary divergence
+     detectors. *)
+  let keep g =
+    match g.goal_kind with
+    | G_branch label -> not (covered ("cov." ^ label))
+    | G_entry _ | G_trace _ | G_custom _ -> true
+  in
+  let kept = List.filter keep goals in
+  Telemetry.incr (Telemetry.get ())
+    ~n:(List.length goals - List.length kept)
+    "analysis.concretely_covered_skipped";
+  kept
+
 type test_packet = {
   tp_goal : string;
   tp_kind : goal_kind;

@@ -83,6 +83,16 @@ val prune_tainted_goals :
     [analysis.tainted_goals] counter by the number of goals dropped
     (creating it at 0 either way). *)
 
+val prune_concretely_covered :
+  covered:(string -> bool) -> goal list -> goal list
+(** Greybox shortcut: drop [G_branch] goals whose coverage edge
+    ([cov.<label>]) the campaign already drove concretely — the coverage
+    an SMT witness would buy is in hand. Only branch goals map 1:1 onto an
+    edge; entry goals share action edges across a table's entries and are
+    kept as the primary divergence detectors. Increments the
+    [analysis.concretely_covered_skipped] counter by the number of goals
+    dropped (creating it at 0 either way). *)
+
 type test_packet = {
   tp_goal : string;
   tp_kind : goal_kind;

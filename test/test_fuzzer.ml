@@ -228,6 +228,31 @@ let test_sweep_covers_mutations_per_table () =
   check_bool "vrf constraint violation swept" true
     (Hashtbl.mem pairs ("vrf_table", "constraint_violation"))
 
+let test_negative_weight_strictly_negative () =
+  (* Regression: the "invalid_action_selector_weight" mutation drew
+     [-1 * Rng.int rng 2], which yielded weight 0 half the time — a
+     possibly-valid update mislabeled as the negative-weight mutation.
+     Scan the mutation across many seeds and insist every produced weight
+     is strictly negative. *)
+  let weights = ref [] in
+  for seed = 1 to 20 do
+    let f = make_fuzzer seed in
+    List.iter
+      (List.iter (fun (a : Fuzzer.annotated_update) ->
+           match (a.mutation, a.update.entry.e_action) with
+           | Some "invalid_action_selector_weight", Entry.Weighted ((_, w) :: _)
+             ->
+               weights := w :: !weights
+           | _ -> ()))
+      (batches f 5)
+  done;
+  check_bool "mutation fired at least once" true (!weights <> []);
+  List.iter
+    (fun w ->
+      if w >= 0 then
+        Alcotest.failf "negative-weight mutation produced weight %d" w)
+    !weights
+
 let test_sweep_respects_dependency_order () =
   let f = make_fuzzer 2 in
   let sweep = Fuzzer.sweep f in
@@ -257,6 +282,8 @@ let () =
            test_unmutated_updates_syntactic;
          Alcotest.test_case "mutated updates are invalid" `Quick test_mutated_updates_invalid;
          Alcotest.test_case "mutation diversity" `Quick test_mutation_diversity;
+         Alcotest.test_case "negative weight strictly negative" `Quick
+           test_negative_weight_strictly_negative;
          Alcotest.test_case "mirror tracks inserts" `Quick test_mirror_tracks_valid_inserts;
          Alcotest.test_case "capacity respected" `Quick test_capacity_respected ]);
       ("batching",

@@ -32,6 +32,17 @@ let contains ~needle hay =
 
 let entries = Workload.generate ~seed:3 Middleblock.program Workload.small
 
+let tmp_path name =
+  Filename.concat (Filename.get_temp_dir_name ())
+    (Printf.sprintf "swv_obs_%d_%s" (Unix.getpid ()) name)
+
+let read_all path =
+  let ic = open_in_bin path in
+  let n = in_channel_length ic in
+  let s = really_input_string ic n in
+  close_in ic;
+  s
+
 (* --- coverage --------------------------------------------------------------- *)
 
 let test_edge_keys_shape () =
@@ -48,6 +59,44 @@ let test_edge_keys_shape () =
   let cov = Coverage.of_registry (Telemetry.create ()) Middleblock.program in
   check_int "nothing covered" 0 cov.Coverage.covered;
   check_int "total = edge space" (List.length keys) cov.Coverage.total
+
+let test_edge_keys_memoized () =
+  (* The greybox loop snapshots the key list around every injection;
+     repeated calls on the same program value must not rebuild the CFG. *)
+  let a = Coverage.edge_keys Middleblock.program in
+  let b = Coverage.edge_keys Middleblock.program in
+  check_bool "same program value returns the cached list" true (a == b);
+  (* A structurally-equal-but-distinct program value recomputes — and the
+     recomputation must agree exactly with the cached result. *)
+  let copy =
+    { Middleblock.program with
+      Switchv_p4ir.Ast.p_name = Middleblock.program.Switchv_p4ir.Ast.p_name }
+  in
+  let c = Coverage.edge_keys copy in
+  check_bool "distinct value recomputes" true (not (c == a));
+  check_bool "recomputation identical" true (c = a);
+  (* The copy is now cached too. *)
+  check_bool "copy cached on second call" true (Coverage.edge_keys copy == c)
+
+let test_coverage_write_pid_unique_tmp () =
+  (* Regression: the temp file used to be the fixed [path ^ ".tmp"], so
+     two processes writing the same --coverage-out could clobber each
+     other's half-written temp. The pid-suffixed temp must leave a
+     stranger's ".tmp" sibling untouched. *)
+  let path = tmp_path "cov_pid.txt" in
+  let stale = path ^ ".tmp" in
+  let oc = open_out stale in
+  output_string oc "sentinel-from-another-process";
+  close_out oc;
+  let cov = Coverage.of_registry (Telemetry.create ()) Middleblock.program in
+  Coverage.write_file cov path;
+  check_bool "output published" true (Sys.file_exists path);
+  check_string "foreign .tmp sibling untouched" "sentinel-from-another-process"
+    (read_all stale);
+  check_bool "pid temp cleaned up" false
+    (Sys.file_exists (Printf.sprintf "%s.tmp.%d" path (Unix.getpid ())));
+  Sys.remove stale;
+  Sys.remove path
 
 let campaign_registry =
   (* One campaign run, shared by the coverage and hygiene tests. *)
@@ -151,17 +200,6 @@ let test_undocumented_render_marker () =
 
 (* --- trace file plumbing ------------------------------------------------------ *)
 
-let tmp_path name =
-  Filename.concat (Filename.get_temp_dir_name ())
-    (Printf.sprintf "swv_obs_%d_%s" (Unix.getpid ()) name)
-
-let read_all path =
-  let ic = open_in_bin path in
-  let n = in_channel_length ic in
-  let s = really_input_string ic n in
-  close_in ic;
-  s
-
 let test_truncate_to_last_newline () =
   let path = tmp_path "torn.jsonl" in
   let oc = open_out_bin path in
@@ -178,13 +216,22 @@ let test_truncate_to_last_newline () =
 let test_file_sink_atomic () =
   let path = tmp_path "trace.jsonl" in
   if Sys.file_exists path then Sys.remove path;
+  (* A stale fixed-name ".tmp" left by another process must survive: the
+     sink writes to a pid-suffixed temp, not [path ^ ".tmp"]. *)
+  let stale = path ^ ".tmp" in
+  let oc = open_out stale in
+  output_string oc "foreign";
+  close_out oc;
   let tele = Telemetry.create () in
   (* Normal completion publishes the file and removes the temp. *)
   Trace.with_file_sink tele path (fun () ->
       Telemetry.with_span tele "outer" (fun () ->
           Telemetry.event tele "tick"));
   check_bool "trace file published" true (Sys.file_exists path);
-  check_bool "temp removed" false (Sys.file_exists (path ^ ".tmp"));
+  check_bool "pid temp removed" false
+    (Sys.file_exists (Printf.sprintf "%s.tmp.%d" path (Unix.getpid ())));
+  check_string "foreign .tmp sibling untouched" "foreign" (read_all stale);
+  Sys.remove stale;
   let events, skipped = Trace.read_file path in
   check_int "no unparseable lines" 0 skipped;
   check_int "begin + instant + end" 3 (List.length events);
@@ -331,6 +378,9 @@ let () =
   Alcotest.run "obs"
     [ ( "coverage",
         [ Alcotest.test_case "edge key space" `Quick test_edge_keys_shape;
+          Alcotest.test_case "edge keys memoized" `Quick test_edge_keys_memoized;
+          Alcotest.test_case "pid-unique write temp" `Quick
+            test_coverage_write_pid_unique_tmp;
           Alcotest.test_case "interpreter counters within edge space" `Quick
             test_interp_counters_within_edge_space;
           Alcotest.test_case "text + json rendering" `Quick

@@ -238,7 +238,8 @@ let test_report_to_json () =
       control_stats =
         Some
           { Report.cs_batches = 2; cs_updates = 10; cs_valid_updates = 7;
-            cs_invalid_updates = 3; cs_duration = 0.25 };
+            cs_invalid_updates = 3; cs_novel_edges = 4; cs_corpus_seeds = 2;
+            cs_duration = 0.25 };
       data_stats =
         Some
           { Report.ds_entries_installed = 5; ds_goals = 9; ds_covered = 8;
