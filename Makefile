@@ -1,6 +1,6 @@
 # Convenience targets; everything is plain dune underneath.
 
-.PHONY: all build check test bench bench-quick micro examples lint-models lint-json replay-corpus check-parallel check-smt check-obs check-taint check-topo check-greybox clean
+.PHONY: all build check test bench bench-quick micro examples lint-models lint-json replay-corpus check-parallel check-smt check-obs check-taint check-topo check-greybox check-scale clean
 
 MODELS = middleblock tor wan cerberus figure2
 
@@ -24,6 +24,7 @@ check:
 	$(MAKE) check-taint
 	$(MAKE) check-topo
 	$(MAKE) check-greybox
+	$(MAKE) check-scale
 
 # Regression-corpus gate: every archived incident in the golden corpus must
 # still reproduce on a stack seeded with the fault it was captured under
@@ -224,6 +225,32 @@ check-greybox:
 	cmp /tmp/swv_gb_off.jsonl test/fixtures/greybox_blind.golden.jsonl
 	dune exec bench/main.exe -- quick greybox
 	rm -f /tmp/swv_gb_1.jsonl /tmp/swv_gb_4.jsonl /tmp/swv_gb_off.jsonl
+
+# Scale gate, three legs. (1) Equivalence: a seeded faulty validation must
+# archive a byte-identical regression corpus with the staged evaluator on
+# (the default) and off (--no-compile), at --jobs 1 and --jobs 4 — the
+# compiled closures + indexed match structures change throughput, never a
+# single output byte. (2) The indexed-match differential suite (property-
+# based index-vs-scan, the pinned ternary tie-break, the compiled-vs-
+# interpreted soak). (3) Throughput: the quick scale bench artifact must
+# show >= 10x packets/sec at the 100k-entry tier (its built-in gate).
+check-scale:
+	dune build @all
+	rm -f /tmp/swv_sc_c1.jsonl /tmp/swv_sc_c4.jsonl /tmp/swv_sc_i1.jsonl /tmp/swv_sc_i4.jsonl
+	! $(SWITCHV) validate -m middleblock --fault PINS-019 \
+	  --batches 4 --shards 4 --jobs 1 --save-corpus /tmp/swv_sc_c1.jsonl >/dev/null
+	! $(SWITCHV) validate -m middleblock --fault PINS-019 \
+	  --batches 4 --shards 4 --jobs 4 --save-corpus /tmp/swv_sc_c4.jsonl >/dev/null
+	! $(SWITCHV) validate -m middleblock --fault PINS-019 --no-compile \
+	  --batches 4 --shards 4 --jobs 1 --save-corpus /tmp/swv_sc_i1.jsonl >/dev/null
+	! $(SWITCHV) validate -m middleblock --fault PINS-019 --no-compile \
+	  --batches 4 --shards 4 --jobs 4 --save-corpus /tmp/swv_sc_i4.jsonl >/dev/null
+	cmp /tmp/swv_sc_c1.jsonl /tmp/swv_sc_i1.jsonl
+	cmp /tmp/swv_sc_c1.jsonl /tmp/swv_sc_c4.jsonl
+	cmp /tmp/swv_sc_i1.jsonl /tmp/swv_sc_i4.jsonl
+	dune exec test/test_match.exe -- -e
+	dune exec bench/main.exe -- quick scale
+	rm -f /tmp/swv_sc_c1.jsonl /tmp/swv_sc_c4.jsonl /tmp/swv_sc_i1.jsonl /tmp/swv_sc_i4.jsonl
 
 test:
 	dune runtest

@@ -201,6 +201,12 @@ let no_greybox_arg =
   in
   Arg.(value & flag & info [ "no-greybox" ] ~doc)
 
+let no_compile_arg =
+  let doc =
+    "Disable the staged evaluator: run every model execution through the      tree-walking interpreter with linear-scan table lookups instead of      the compiled closures + indexed match structures. Much slower at      scale; incidents, clusters and corpus are byte-identical either way      (see $(b,make check-scale))."
+  in
+  Arg.(value & flag & info [ "no-compile" ] ~doc)
+
 let no_taint_arg =
   let doc =
     "Disable the static taint analysis: solve every branch goal (even \
@@ -245,11 +251,11 @@ let exposition_routes tele program =
 
 let validate_cmd =
   let run program seed scale fault_ids batches cache_dir trace_file corpus_file
-      minimize jobs shards no_incremental no_taint no_greybox metrics_port
-      coverage_out progress =
+      minimize jobs shards no_incremental no_taint no_greybox no_compile
+      metrics_port coverage_out progress =
     let entries = workload program scale seed in
     let faults = resolve_faults program entries fault_ids in
-    let mk () = Stack.create ~faults program in
+    let mk () = Stack.create ~faults ~compile:(not no_compile) program in
     let config =
       { (Harness.default_config entries) with
         control = { Control_campaign.default_config with batches; seed; shards };
@@ -259,7 +265,8 @@ let validate_cmd =
         data_shards = shards;
         incremental = not no_incremental;
         taint = not no_taint;
-        greybox = not no_greybox }
+        greybox = not no_greybox;
+        compile = not no_compile }
     in
     let tele = Telemetry.get () in
     let server =
@@ -348,14 +355,14 @@ let validate_cmd =
     (Cmd.info "validate" ~doc)
     Term.(
       term_result' ~usage:false
-        (const (fun p s sc f b c t cf mz j sh ni nt ng mp co pr ->
-             match run p s sc f b c t cf mz j sh ni nt ng mp co pr with
+        (const (fun p s sc f b c t cf mz j sh ni nt ng nc mp co pr ->
+             match run p s sc f b c t cf mz j sh ni nt ng nc mp co pr with
              | Ok () -> Ok ()
              | Error (_, m) -> Error m)
         $ model_arg $ seed_arg $ scale_arg $ faults_arg $ batches_arg $ cache_dir_arg
         $ trace_file_arg $ save_corpus_arg $ minimize_arg $ jobs_arg $ shards_arg
-        $ no_incremental_arg $ no_taint_arg $ no_greybox_arg $ metrics_port_arg
-        $ coverage_out_arg $ progress_arg))
+        $ no_incremental_arg $ no_taint_arg $ no_greybox_arg $ no_compile_arg
+        $ metrics_port_arg $ coverage_out_arg $ progress_arg))
 
 (* --- replay ---------------------------------------------------------------- *)
 
@@ -423,7 +430,7 @@ let replay_cmd =
 
 let fabric_cmd =
   let run program shape switches spines seed fault_ids fault_switch budget
-      no_packet_out jobs shards minimize trace_file corpus_file =
+      no_packet_out jobs shards minimize no_compile trace_file corpus_file =
     match
       (try Ok (Topo.build ?spines shape switches)
        with Invalid_argument m -> Error m)
@@ -464,7 +471,8 @@ let fabric_cmd =
               shards;
               packet_out = not no_packet_out;
               faults = (if faults = [] then [] else [ (fault_switch, faults) ]);
-              minimize }
+              minimize;
+              compile = not no_compile }
           in
           let tele = Telemetry.get () in
           let incidents, stats =
@@ -550,22 +558,22 @@ let fabric_cmd =
     (Cmd.info "fabric" ~doc)
     Term.(
       term_result' ~usage:false
-        (const (fun p t sw sp s f fs b np j sh mz tr cf ->
-             match run p t sw sp s f fs b np j sh mz tr cf with
+        (const (fun p t sw sp s f fs b np j sh mz nc tr cf ->
+             match run p t sw sp s f fs b np j sh mz nc tr cf with
              | Ok () -> Ok ()
              | Error m -> Error m)
         $ model_arg $ topo_arg $ switches_arg $ spines_arg $ seed_arg
         $ faults_arg $ fault_switch_arg $ budget_arg $ no_packet_out_arg
-        $ jobs_arg $ shards_arg $ minimize_arg $ trace_file_arg
-        $ save_corpus_arg))
+        $ jobs_arg $ shards_arg $ minimize_arg $ no_compile_arg
+        $ trace_file_arg $ save_corpus_arg))
 
 (* --- fuzz ------------------------------------------------------------------- *)
 
 let fuzz_cmd =
-  let run program seed fault_ids batches no_greybox =
+  let run program seed fault_ids batches no_greybox no_compile =
     let entries = workload program 0.1 seed in
     let faults = resolve_faults program entries fault_ids in
-    let stack = Stack.create ~faults program in
+    let stack = Stack.create ~faults ~compile:(not no_compile) program in
     let incidents, stats =
       Control_campaign.run stack
         { Control_campaign.default_config with
@@ -585,7 +593,7 @@ let fuzz_cmd =
     (Cmd.info "fuzz" ~doc)
     Term.(
       const run $ model_arg $ seed_arg $ faults_arg $ batches_arg
-      $ no_greybox_arg)
+      $ no_greybox_arg $ no_compile_arg)
 
 (* --- genpackets ---------------------------------------------------------------- *)
 

@@ -226,17 +226,25 @@ let requires_priority (table : Ast.table) =
     (fun (k : Ast.key) -> match k.k_kind with Ast.Ternary | Ast.Optional -> true | _ -> false)
     table.t_keys
 
-(* Entries in match-precedence order: the first matching entry wins. Stable
-   sort keeps insertion order as the tie-breaker. *)
+(* Entries in match-precedence order: the first matching entry wins.
+   Precedence is an explicit lexicographic order — (priority descending,
+   insertion order ascending) for tables with ternary/optional keys,
+   (LPM specificity descending, insertion order ascending) otherwise — so
+   equal-priority entries resolve to the earliest-inserted one by
+   contract, not as an accident of scan position. [State.entries_of]
+   returns entries in insertion-seq order, which supplies the tie-break
+   index here; [Switchv_match.Index] implements the same (rank, seq)
+   order for the compiled evaluator's indexed lookup. *)
 let ordered_entries (table : Ast.table) entries =
-  if requires_priority table then
-    List.stable_sort
-      (fun (a : Entry.t) (b : Entry.t) -> Int.compare b.e_priority a.e_priority)
-      entries
-  else
-    List.stable_sort
-      (fun a b -> Int.compare (lpm_specificity table b) (lpm_specificity table a))
-      entries
+  let rank : Entry.t -> int =
+    if requires_priority table then fun e -> -e.e_priority
+    else fun e -> -lpm_specificity table e
+  in
+  List.mapi (fun i e -> (rank e, i, e)) entries
+  |> List.sort (fun (ra, ia, _) (rb, ib, _) ->
+         let c = Int.compare ra rb in
+         if c <> 0 then c else Int.compare ia ib)
+  |> List.map (fun (_, _, e) -> e)
 
 let select_winner rt (table : Ast.table) key_values =
   let entries = ordered_entries table (State.entries_of rt.cfg.state table.t_name) in

@@ -93,3 +93,46 @@ val ordered_entries : Ast.table -> Entry.t list -> Entry.t list
 val hash_rounds : config -> int
 (** The number of distinct [Fixed] hash rounds needed to reach every WCMP
     member of every installed group (the maximum total weight). *)
+
+(** {2 Evaluator internals}
+
+    Shared with the staged evaluator ({!Compile}), which reuses the
+    interpreter's per-packet runtime state, finishing logic and coverage
+    emission so the two are behavior-identical by construction; also used
+    by differential tests as the linear-scan reference. *)
+
+(** Mutable per-packet execution state. *)
+type rt = {
+  cfg : config;
+  fields : (string, Bitvec.t) Hashtbl.t;    (** "hdr.field" -> value *)
+  valid : (string, bool) Hashtbl.t;         (** header name -> validity *)
+  mutable payload : string;
+  mutable trace : (string * string) list;
+  mutable hash_calls : int;
+}
+
+val fkey : string -> string -> string
+(** [fkey hdr field] is the [fields] key ["hdr.field"]. *)
+
+val read_field : rt -> Ast.field_ref -> Bitvec.t
+val write_field : rt -> Ast.field_ref -> Bitvec.t -> unit
+val is_valid : rt -> string -> bool
+
+val hash_value : rt -> Bitvec.t list -> int
+(** Apply the configured hash, counting the call in [hash_calls]. *)
+
+val fresh_rt : config -> rt
+(** A runtime with standard and user metadata zeroed. *)
+
+val finish : rt -> behavior
+(** Deparse and resolve drop/punt/mirror into a behavior. *)
+
+val count_ifs : Ast.control -> int
+
+val apply_table : rt -> string -> unit
+(** Reference table application (linear scan), including trace and
+    coverage-counter emission. *)
+
+val entry_matches : Ast.table -> (string * Bitvec.t) list -> Entry.t -> bool
+(** Do the entry's field matches hold for the given key values? Omitted
+    keys are wildcards. *)

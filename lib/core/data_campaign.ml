@@ -5,6 +5,7 @@ module Request = Switchv_p4runtime.Request
 module Status = Switchv_p4runtime.Status
 module State = Switchv_p4runtime.State
 module Interp = Switchv_bmv2.Interp
+module Compile = Switchv_bmv2.Compile
 module Symexec = Switchv_symbolic.Symexec
 module Packetgen = Switchv_symbolic.Packetgen
 module Cache = Switchv_symbolic.Cache
@@ -34,6 +35,10 @@ type config = {
   greybox : bool;
       (* per-packet coverage-delta capture + corpus admission (slice-local,
          jobs-deterministic); feeds the fuzzer.greybox.* totals *)
+  compile : bool;
+      (* staged evaluator for every model execution (table lookups served
+         from indexed match structures); [false] is the linear-scan
+         reference path ([--no-compile]), byte-identical by contract *)
   covered_edges : string list;
       (* edges the caller already covered concretely (the harness passes
          the control campaign's delta): branch goals over them skip SMT.
@@ -46,7 +51,8 @@ let default_config entries =
   { entries; ports = [ 1; 2; 3; 4 ]; extra_goals = (fun _ -> []);
     include_branch_goals = true; prune_dead_goals = true;
     cache = None; max_incidents = 25; test_packet_io = true; shards = 1;
-    incremental = true; taint = true; greybox = true; covered_edges = [] }
+    incremental = true; taint = true; greybox = true; compile = true;
+    covered_edges = [] }
 
 let exploratory_goals (enc : Symexec.encoding) =
   let ether_type = Term.var (Symexec.field_var ~header:"ethernet" ~field:"ether_type") 16 in
@@ -131,14 +137,15 @@ let install stack entries add_incident =
     batches;
   !installed
 
-let behavior_set_packet_out model_cfg po =
+let behavior_set_packet_out ?(compile = true) model_cfg po =
   (* Enumerate hash outcomes for submit-to-ingress processing. *)
   let rounds = min 32 (Interp.hash_rounds model_cfg) in
+  let runner = if compile then Compile.run_packet_out else Interp.run_packet_out in
   let rec go round acc =
     if round >= rounds then List.rev acc
     else begin
       let b =
-        Interp.run_packet_out { model_cfg with Interp.hash_mode = Interp.Fixed round }
+        runner { model_cfg with Interp.hash_mode = Interp.Fixed round }
           ~egress_port:po.Request.po_egress_port po.Request.po_payload
       in
       if List.exists (Interp.behavior_equal b) acc then go (round + 1) acc
@@ -435,7 +442,9 @@ let run ?(push_p4info = true) ?(jobs = 1) stack config =
         in
         (encoding, goals, tainted, taint_summary))
   in
-  let oracle = Dataplane.create model_cfg ~taint:taint_summary in
+  let oracle =
+    Dataplane.create ~compile:config.compile model_cfg ~taint:taint_summary
+  in
   let prep_s = Telemetry.Clock.duration ~since:prep_start in
   (* Denominator for live progress/ETA; counted in the parent before any
      fork so the gauge is visible immediately and never double-counted. *)
@@ -548,7 +557,7 @@ let run ?(push_p4info = true) ?(jobs = 1) stack config =
       config.ports;
     let po = { Request.po_payload = payload; po_egress_port = None } in
     let switch_b = Stack.packet_out stack po in
-    let model_bs = behavior_set_packet_out model_cfg po in
+    let model_bs = behavior_set_packet_out ~compile:config.compile model_cfg po in
     if not (List.exists (Interp.behavior_equal switch_b) model_bs) then
       add "submit-to-ingress divergence"
         ~context:(Report.context ~goal:"packet-out:submit" ())

@@ -58,6 +58,13 @@ type config = {
           Observation only — it never alters which packets are generated
           or injected — and slice-local, so results stay byte-identical at
           any [jobs]. *)
+  compile : bool;
+      (** Run every model execution through the staged evaluator
+          ({!Switchv_bmv2.Compile}: one-time closure compilation + indexed
+          table lookups) instead of the tree-walking interpreter (on by
+          default). Behaviour-identical by contract — incidents, clusters
+          and corpus are byte-identical either way (the [--no-compile]
+          escape hatch, cmp-gated by `make check-scale`). *)
   covered_edges : string list;
       (** Coverage edges ([cov.…] keys) the caller's earlier campaign
           already drove concretely; branch goals over them skip the SMT

@@ -6,6 +6,7 @@ module Request = Switchv_p4runtime.Request
 module Status = Switchv_p4runtime.Status
 module State = Switchv_p4runtime.State
 module Interp = Switchv_bmv2.Interp
+module Compile = Switchv_bmv2.Compile
 module Workload = Switchv_sai.Workload
 module Packet = Switchv_packet.Packet
 module Telemetry = Switchv_telemetry.Telemetry
@@ -35,12 +36,15 @@ type config = {
   faults : (int * Fault.t list) list;
   minimize : bool;
   ddmin_probes : int;
+  compile : bool;
+      (* staged evaluator for every stack ASIC and model node; [false] is
+         the interpreted --no-compile reference path, byte-identical *)
 }
 
 let default_config shape switches =
   { shape; switches; spines = None; seed = 0; budget = None;
     max_incidents = 25; shards = 1; packet_out = true; faults = [];
-    minimize = false; ddmin_probes = 256 }
+    minimize = false; ddmin_probes = 256; compile = true }
 
 (* --- the flow suite --------------------------------------------------------
 
@@ -214,7 +218,9 @@ let test_flow env ~tele
     | Po { in_switch; in_po } ->
         let bytes = Packet.to_bytes in_po.Request.po_payload in
         let model_b =
-          Interp.run_packet_out env.e_model_cfgs.(in_switch)
+          (if env.e_cfg.compile then Compile.run_packet_out
+           else Interp.run_packet_out)
+            env.e_model_cfgs.(in_switch)
             ~egress_port:in_po.Request.po_egress_port in_po.Request.po_payload
         in
         let switch_b = Stack.packet_out env.e_stacks.(in_switch) in_po in
@@ -485,7 +491,7 @@ let run ?(jobs = 1) program cfg =
   in
   let mk_stack s () =
     Stack.create ~faults:(faults_for s) ~hash_seed:(0x5EED + cfg.seed + s)
-      program
+      ~compile:cfg.compile program
   in
   (* Setup runs once in the parent; forked slice workers inherit the
      programmed stacks and model states copy-on-write. *)
@@ -520,13 +526,18 @@ let run ?(jobs = 1) program cfg =
     (Switchv_analysis.Analysis.facts ~check_restrictions:false program)
       .Switchv_analysis.Analysis.f_taint
   in
-  let oracles = Array.map (fun c -> Dataplane.create c ~taint) model_cfgs in
+  let oracles =
+    Array.map (fun c -> Dataplane.create ~compile:cfg.compile c ~taint)
+      model_cfgs
+  in
   let env =
     { e_topo = topo;
       e_cfg = cfg;
       e_stacks = stacks;
       e_stack_nodes = Array.init n (fun s -> Fabric.stack_node s stacks.(s));
-      e_model_nodes = Array.init n (fun s -> Fabric.model_node s model_cfgs.(s));
+      e_model_nodes =
+        Array.init n (fun s ->
+            Fabric.model_node ~compile:cfg.compile s model_cfgs.(s));
       e_model_cfgs = model_cfgs;
       e_oracles = oracles;
       e_entries_for = entries_for;

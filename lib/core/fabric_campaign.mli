@@ -49,6 +49,10 @@ type config = {
           run clean *)
   minimize : bool;              (** ddmin localized reproducers in-slice *)
   ddmin_probes : int;
+  compile : bool;
+      (** staged evaluator for every stack ASIC and model node (default
+          [true]); [false] is the interpreted [--no-compile] reference
+          path — incidents and clusters are byte-identical either way *)
 }
 
 val default_config : Topo.shape -> int -> config

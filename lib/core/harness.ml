@@ -29,6 +29,7 @@ type config = {
   incremental : bool;
   taint : bool;
   greybox : bool;
+  compile : bool;
 }
 
 (* Entries readable from a switch come back in insertion order of the
@@ -77,7 +78,8 @@ let default_config entries =
     data_shards = 1;
     incremental = true;
     taint = true;
-    greybox = true }
+    greybox = true;
+    compile = true }
 
 (* Shrink a reproducer to a 1-minimal input: each ddmin probe replays a
    candidate against a freshly provisioned stack. Sound because a clean
@@ -218,6 +220,7 @@ let validate mk_stack config =
       incremental = config.incremental;
       taint = config.taint;
       greybox = config.greybox;
+      compile = config.compile;
       covered_edges;
       extra_goals =
         (if config.exploratory then Data_campaign.exploratory_goals else fun _ -> []) }
@@ -236,6 +239,7 @@ let validate mk_stack config =
           incremental = config.incremental;
           taint = config.taint;
           greybox = config.greybox;
+          compile = config.compile;
           covered_edges }
       in
       let incidents, _ = Data_campaign.run stack cfg in

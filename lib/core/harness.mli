@@ -65,6 +65,11 @@ type config = {
           already covered concretely ([covered_edges] computed here from
           the registry delta, jobs-invariant). [false] reproduces the
           blind pre-feedback pipeline byte-identically. *)
+  compile : bool;
+      (** Staged-evaluator model execution in the data campaigns (on by
+          default; see {!Data_campaign.config}[.compile]). The caller's
+          stacks carry their own flag ({!Switchv_switch.Stack.create}).
+          [false] — the [--no-compile] escape hatch — is byte-identical. *)
 }
 
 val default_config : Entry.t list -> config

@@ -1,0 +1,334 @@
+(* Indexed table-entry lookup.
+
+   The interpreter's reference semantics (lib/bmv2/interp.ml) order a
+   table's entries by an explicit precedence — (priority descending,
+   insertion seq ascending) when any key is ternary/optional, otherwise
+   (LPM specificity descending, insertion seq ascending) — and the first
+   matching entry wins. Equivalently: the winner is the matching entry
+   that minimises the lexicographic pair (rank, seq), with
+
+     rank = -priority                     (priority tables)
+     rank = -sum of LPM prefix lengths    (everything else)
+
+   This module computes that minimum without scanning every entry:
+
+   - priority tables use tuple-space search — entries grouped by their
+     concatenated mask signature, each group a hash table from masked key
+     bytes to candidates, so a probe costs one hash lookup per distinct
+     mask shape instead of one compare per entry;
+   - tables with one LPM key (plus exact keys) hash on the exact part and
+     keep a path-compressed binary trie ({!Trie}) over the LPM key;
+   - all-exact tables are a single hash map.
+
+   Entries whose match values do not fit the fast structure (and whole
+   tables with several LPM keys) fall back to a residual linear list that
+   reproduces the interpreter's scan exactly; the fast-path winner and the
+   residual winner are merged under the same (rank, seq) order, so lookup
+   is equivalent to the reference for every entry shape.
+
+   The module is deliberately independent of lib/p4runtime (which depends
+   on it): match values are re-declared here and the payload type is
+   abstract. Values are canonicalised (masked) on insert, so bucket
+   equality coincides with match semantics. *)
+
+module Bitvec = Switchv_bitvec.Bitvec
+
+type kind = Exact | Lpm | Ternary | Optional
+
+type mv =
+  | Mexact of Bitvec.t
+  | Mlpm of Bitvec.t * int            (* value, prefix length *)
+  | Mternary of Bitvec.t * Bitvec.t   (* value, mask *)
+  | Moptional of Bitvec.t option      (* None = wildcard *)
+
+type key = { key_width : int; key_kind : kind }
+
+type 'a entry = {
+  e_mvs : mv option array;  (* per key; None = omitted = wildcard *)
+  e_rank : int;
+  e_seq : int;
+  e_payload : 'a;
+}
+
+(* One mask-signature group of the tuple-space search. *)
+type 'a group = {
+  g_masks : Bitvec.t array;
+  g_buckets : (string, 'a entry list ref) Hashtbl.t;
+}
+
+type 'a mode =
+  | M_priority of (string, 'a group) Hashtbl.t    (* signature -> group *)
+  | M_lpm of int * (string, 'a entry Trie.t) Hashtbl.t  (* lpm key pos; exact part -> trie *)
+  | M_exact of (string, 'a entry list ref) Hashtbl.t
+  | M_generic                                      (* residual only *)
+
+type 'a t = {
+  keys : key array;
+  priority_mode : bool;
+  mode : 'a mode;
+  mutable residual : 'a entry list;
+  mutable count : int;
+}
+
+let canonical_mv = function
+  | Mexact v -> Mexact v
+  | Moptional o -> Moptional o
+  | Mlpm (v, len) when len >= 0 && len <= Bitvec.width v ->
+      Mlpm (Bitvec.logand v (Bitvec.prefix_mask ~width:(Bitvec.width v) len), len)
+  | Mlpm (v, len) -> Mlpm (v, len)
+  | Mternary (v, m) when Bitvec.width v = Bitvec.width m ->
+      Mternary (Bitvec.logand v m, m)
+  | Mternary (v, m) -> Mternary (v, m)
+
+let mv_width = function
+  | Mexact v | Mlpm (v, _) | Mternary (v, _) | Moptional (Some v) -> Some (Bitvec.width v)
+  | Moptional None -> None
+
+(* Mirrors interp.ml's [match_value_ok] (omitted key = wildcard). *)
+let mv_matches kv = function
+  | Mexact v | Moptional (Some v) -> Bitvec.equal v kv
+  | Moptional None -> true
+  | Mlpm (v, len) ->
+      Bitvec.width v = Bitvec.width kv
+      && len >= 0 && len <= Bitvec.width kv
+      && Bitvec.equal v (Bitvec.logand kv (Bitvec.prefix_mask ~width:(Bitvec.width kv) len))
+  | Mternary (v, m) ->
+      Bitvec.width m = Bitvec.width kv && Bitvec.equal v (Bitvec.logand kv m)
+
+let entry_matches e values =
+  let ok = ref true in
+  Array.iteri
+    (fun i mv ->
+      match mv with
+      | None -> ()
+      | Some mv -> if not (mv_matches values.(i) mv) then ok := false)
+    e.e_mvs;
+  !ok
+
+(* Mirrors interp.ml's [lpm_specificity]: only M_lpm values on LPM-kind
+   keys contribute, so an exact value on an LPM key ranks as /0. *)
+let specificity keys mvs =
+  let acc = ref 0 in
+  Array.iteri
+    (fun i mv ->
+      match (keys.(i).key_kind, mv) with
+      | Lpm, Some (Mlpm (_, len)) -> acc := !acc + len
+      | _ -> ())
+    mvs;
+  !acc
+
+let create keys =
+  let priority_mode =
+    Array.exists (fun k -> k.key_kind = Ternary || k.key_kind = Optional) keys
+  in
+  let lpm_positions =
+    Array.to_list keys
+    |> List.mapi (fun i k -> (i, k))
+    |> List.filter_map (fun (i, k) -> if k.key_kind = Lpm then Some i else None)
+  in
+  let mode =
+    if priority_mode then M_priority (Hashtbl.create 16)
+    else
+      match lpm_positions with
+      | [] -> M_exact (Hashtbl.create 1024)
+      | [ pos ] -> M_lpm (pos, Hashtbl.create 64)
+      | _ :: _ :: _ -> M_generic
+  in
+  { keys; priority_mode; mode; residual = []; count = 0 }
+
+let size t = t.count
+
+(* --- classification ------------------------------------------------------ *)
+
+(* Every match value is a masked compare once canonicalised, so any entry
+   of a priority table fits some tuple-space group. *)
+let mask_of w = function
+  | None | Some (Moptional None) -> Bitvec.zero w
+  | Some (Mexact _) | Some (Moptional (Some _)) -> Bitvec.ones w
+  | Some (Mlpm (_, len)) -> Bitvec.prefix_mask ~width:w len
+  | Some (Mternary (_, m)) -> m
+
+let masked_value w = function
+  | None | Some (Moptional None) -> Bitvec.zero w
+  | Some (Mexact v) | Some (Moptional (Some v)) -> v
+  | Some (Mlpm (v, _)) | Some (Mternary (v, _)) -> v
+
+let hex_concat vs =
+  String.concat "," (Array.to_list (Array.map Bitvec.to_hex_string vs))
+
+(* Widths must agree with the schema for bucket keys to be meaningful;
+   anything off-schema is handled by the residual scan. *)
+let widths_ok keys mvs =
+  let ok = ref true in
+  Array.iteri
+    (fun i mv ->
+      let w = keys.(i).key_width in
+      (match Option.bind mv mv_width with
+      | Some w' when w' <> w -> ok := false
+      | _ -> ());
+      match mv with
+      | Some (Mternary (_, m)) when Bitvec.width m <> w -> ok := false
+      | Some (Mlpm (_, len)) when len < 0 || len > w -> ok := false
+      | _ -> ())
+    mvs;
+  !ok
+
+(* The exact-part bucket key of an LPM-mode entry, if every non-LPM value
+   pins its key exactly. *)
+let exact_part_of keys mvs ~skip =
+  let n = Array.length keys in
+  let vals = Array.make n (Bitvec.zero 1) in
+  let ok = ref true in
+  Array.iteri
+    (fun i mv ->
+      if i <> skip then
+        match mv with
+        | Some (Mexact v) | Some (Moptional (Some v)) -> vals.(i) <- v
+        | _ -> ok := false)
+    mvs;
+  if not !ok then None
+  else
+    Some
+      (hex_concat
+         (Array.of_list
+            (List.filteri (fun i _ -> i <> skip) (Array.to_list vals))))
+
+let probe_exact_part values ~skip =
+  hex_concat
+    (Array.of_list (List.filteri (fun i _ -> i <> skip) (Array.to_list values)))
+
+(* The (value, len) the LPM key contributes to the trie, if prefix-shaped. *)
+let lpm_part_of w = function
+  | None | Some (Moptional None) -> Some (Bitvec.zero w, 0)
+  | Some (Mlpm (v, len)) -> Some (v, len)
+  | Some (Mexact v) -> Some (v, w)
+  | Some (Moptional (Some _)) | Some (Mternary _) -> None
+
+let all_exact mvs =
+  Array.for_all
+    (function Some (Mexact _) | Some (Moptional (Some _)) -> true | _ -> false)
+    mvs
+
+(* --- insert / remove ------------------------------------------------------ *)
+
+let bucket_add tbl key e =
+  match Hashtbl.find_opt tbl key with
+  | Some r -> r := e :: !r
+  | None -> Hashtbl.add tbl key (ref [ e ])
+
+let bucket_remove tbl key seq =
+  match Hashtbl.find_opt tbl key with
+  | None -> ()
+  | Some r -> r := List.filter (fun e -> e.e_seq <> seq) !r
+
+let insert t ~mvs ~priority ~seq payload =
+  let mvs = Array.map (Option.map canonical_mv) mvs in
+  let rank = if t.priority_mode then -priority else -specificity t.keys mvs in
+  let e = { e_mvs = mvs; e_rank = rank; e_seq = seq; e_payload = payload } in
+  t.count <- t.count + 1;
+  let to_residual () = t.residual <- e :: t.residual in
+  if not (widths_ok t.keys mvs) then to_residual ()
+  else
+    match t.mode with
+    | M_generic -> to_residual ()
+    | M_priority groups ->
+        let masks = Array.mapi (fun i mv -> mask_of t.keys.(i).key_width mv) mvs in
+        let signature = hex_concat masks in
+        let group =
+          match Hashtbl.find_opt groups signature with
+          | Some g -> g
+          | None ->
+              let g = { g_masks = masks; g_buckets = Hashtbl.create 64 } in
+              Hashtbl.add groups signature g;
+              g
+        in
+        let vals = Array.mapi (fun i mv -> masked_value t.keys.(i).key_width mv) mvs in
+        bucket_add group.g_buckets (hex_concat vals) e
+    | M_exact buckets ->
+        if all_exact mvs then
+          bucket_add buckets
+            (hex_concat
+               (Array.mapi (fun i mv -> masked_value t.keys.(i).key_width mv) mvs))
+            e
+        else to_residual ()
+    | M_lpm (pos, groups) -> (
+        match (exact_part_of t.keys mvs ~skip:pos, lpm_part_of t.keys.(pos).key_width mvs.(pos)) with
+        | Some part, Some (v, len) ->
+            let trie =
+              match Hashtbl.find_opt groups part with
+              | Some tr -> tr
+              | None ->
+                  let tr = Trie.create t.keys.(pos).key_width in
+                  Hashtbl.add groups part tr;
+                  tr
+            in
+            Trie.insert trie ~value:v ~len e
+        | _ -> to_residual ())
+
+let remove t ~mvs ~seq =
+  let mvs = Array.map (Option.map canonical_mv) mvs in
+  let from_residual () =
+    t.residual <- List.filter (fun e -> e.e_seq <> seq) t.residual
+  in
+  t.count <- t.count - 1;
+  if not (widths_ok t.keys mvs) then from_residual ()
+  else
+    match t.mode with
+    | M_generic -> from_residual ()
+    | M_priority groups -> (
+        let masks = Array.mapi (fun i mv -> mask_of t.keys.(i).key_width mv) mvs in
+        match Hashtbl.find_opt groups (hex_concat masks) with
+        | None -> from_residual ()
+        | Some g ->
+            let vals =
+              Array.mapi (fun i mv -> masked_value t.keys.(i).key_width mv) mvs
+            in
+            bucket_remove g.g_buckets (hex_concat vals) seq)
+    | M_exact buckets ->
+        if all_exact mvs then
+          bucket_remove buckets
+            (hex_concat
+               (Array.mapi (fun i mv -> masked_value t.keys.(i).key_width mv) mvs))
+            seq
+        else from_residual ()
+    | M_lpm (pos, groups) -> (
+        match (exact_part_of t.keys mvs ~skip:pos, lpm_part_of t.keys.(pos).key_width mvs.(pos)) with
+        | Some part, Some (v, len) -> (
+            match Hashtbl.find_opt groups part with
+            | None -> ()
+            | Some trie -> Trie.remove trie ~value:v ~len (fun e -> e.e_seq = seq))
+        | _ -> from_residual ())
+
+(* --- lookup --------------------------------------------------------------- *)
+
+let better best e =
+  match best with
+  | None -> Some e
+  | Some b ->
+      if e.e_rank < b.e_rank || (e.e_rank = b.e_rank && e.e_seq < b.e_seq) then Some e
+      else best
+
+let lookup t values =
+  let best = ref None in
+  (match t.mode with
+  | M_generic -> ()
+  | M_priority groups ->
+      Hashtbl.iter
+        (fun _ g ->
+          let masked = Array.map2 Bitvec.logand values g.g_masks in
+          match Hashtbl.find_opt g.g_buckets (hex_concat masked) with
+          | None -> ()
+          | Some r -> List.iter (fun e -> best := better !best e) !r)
+        groups
+  | M_exact buckets -> (
+      match Hashtbl.find_opt buckets (hex_concat values) with
+      | None -> ()
+      | Some r -> List.iter (fun e -> best := better !best e) !r)
+  | M_lpm (pos, groups) -> (
+      match Hashtbl.find_opt groups (probe_exact_part values ~skip:pos) with
+      | None -> ()
+      | Some trie ->
+          best :=
+            Trie.fold_matches trie values.(pos) (fun acc e -> better acc e) !best));
+  List.iter (fun e -> if entry_matches e values then best := better !best e) t.residual;
+  Option.map (fun e -> e.e_payload) !best

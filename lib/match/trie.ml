@@ -1,0 +1,107 @@
+(* Path-compressed binary trie over fixed-width keys, MSB first.
+
+   Items live at prefix points: an item inserted under (value, len) is
+   reachable from exactly the lookup keys whose top [len] bits equal the
+   top [len] bits of [value]. A lookup therefore returns every item on the
+   root-to-leaf path that matches the probe key — the caller ranks them —
+   rather than only the deepest, because the interpreter's precedence
+   order is not always "longest prefix" (an exact match on an LPM key
+   carries specificity 0, see interp.ml's [lpm_specificity]).
+
+   Edges carry compressed bit labels so a chain of single-child nodes
+   costs one node: a million /24 routes under a handful of /8s stays a
+   few million pointers wide instead of depth-24 chains per route. *)
+
+module Bitvec = Switchv_bitvec.Bitvec
+
+type 'a node = {
+  mutable n_label : bool array; (* edge label leading into this node *)
+  mutable n_items : 'a list;    (* items whose prefix ends exactly here *)
+  mutable n_zero : 'a node option;
+  mutable n_one : 'a node option;
+}
+
+type 'a t = { t_width : int; t_root : 'a node }
+
+let make_node label = { n_label = label; n_items = []; n_zero = None; n_one = None }
+
+let create width = { t_width = width; t_root = make_node [||] }
+
+(* Bits of [v]'s top [len] positions, MSB first. *)
+let prefix_bits v len =
+  let w = Bitvec.width v in
+  Array.init len (fun i -> Bitvec.bit v (w - 1 - i))
+
+let child node b = if b then node.n_one else node.n_zero
+
+let set_child node b c =
+  if b then node.n_one <- Some c else node.n_zero <- Some c
+
+let common_prefix_len label bits off =
+  let n = min (Array.length label) (Array.length bits - off) in
+  let rec go i = if i < n && label.(i) = bits.(off + i) then go (i + 1) else i in
+  go 0
+
+let insert t ~value ~len item =
+  let bits = prefix_bits value len in
+  let rec go node off =
+    if off = len then node.n_items <- item :: node.n_items
+    else begin
+      let b = bits.(off) in
+      match child node b with
+      | None ->
+          let leaf = make_node (Array.sub bits off (len - off)) in
+          leaf.n_items <- [ item ];
+          set_child node b leaf
+      | Some c ->
+          let m = common_prefix_len c.n_label bits off in
+          if m = Array.length c.n_label then go c (off + m)
+          else begin
+            (* Split [c]'s edge at the divergence point. *)
+            let mid = make_node (Array.sub c.n_label 0 m) in
+            let rest = Array.sub c.n_label m (Array.length c.n_label - m) in
+            set_child mid rest.(0) { c with n_label = rest };
+            set_child node b mid;
+            if off + m = len then mid.n_items <- [ item ]
+            else begin
+              let leaf = make_node (Array.sub bits (off + m) (len - off - m)) in
+              leaf.n_items <- [ item ];
+              set_child mid bits.(off + m) leaf
+            end
+          end
+    end
+  in
+  go t.t_root 0
+
+(* Remove items for which [drop] holds at prefix (value, len). Empty nodes
+   are left in place: deletions are rare relative to the scale the trie
+   exists for, and correctness does not depend on re-merging edges. *)
+let remove t ~value ~len drop =
+  let bits = prefix_bits value len in
+  let rec go node off =
+    if off = len then
+      node.n_items <- List.filter (fun it -> not (drop it)) node.n_items
+    else
+      match child node bits.(off) with
+      | None -> ()
+      | Some c ->
+          let m = common_prefix_len c.n_label bits off in
+          if m = Array.length c.n_label then go c (off + m)
+  in
+  go t.t_root 0
+
+(* Fold [f] over every item whose prefix matches the full-width [key],
+   i.e. every item on the matching root-to-leaf path. *)
+let fold_matches t key f init =
+  let bits = prefix_bits key t.t_width in
+  let rec go node off acc =
+    let acc = List.fold_left f acc node.n_items in
+    if off >= t.t_width then acc
+    else
+      match child node bits.(off) with
+      | None -> acc
+      | Some c ->
+          let m = common_prefix_len c.n_label bits off in
+          if m = Array.length c.n_label then go c (off + m) acc else acc
+  in
+  go t.t_root 0 init

@@ -1,0 +1,26 @@
+(** Path-compressed binary trie over fixed-width keys, MSB first.
+
+    Items live at prefix points; a lookup visits every item on the
+    matching root-to-leaf path (not only the deepest), because table
+    precedence is ranked by the caller — an exact value on an LPM key
+    ranks as specificity 0 in the interpreter's order. *)
+
+module Bitvec = Switchv_bitvec.Bitvec
+
+type 'a t
+
+val create : int -> 'a t
+(** [create width]: an empty trie over [width]-bit keys. *)
+
+val insert : 'a t -> value:Bitvec.t -> len:int -> 'a -> unit
+(** Add an item under the prefix formed by the top [len] bits of
+    [value]. *)
+
+val remove : 'a t -> value:Bitvec.t -> len:int -> ('a -> bool) -> unit
+(** Remove the items at prefix [(value, len)] for which the predicate
+    holds. Emptied nodes are left in place (deletions are rare at the
+    scale the trie exists for). *)
+
+val fold_matches : 'a t -> Bitvec.t -> ('b -> 'a -> 'b) -> 'b -> 'b
+(** [fold_matches t key f init] folds [f] over every item whose prefix
+    matches the full-width [key]. *)

@@ -34,7 +34,7 @@ module Taint = Switchv_analysis.Taint
 
 type t
 
-val create : Interp.config -> taint:Taint.summary -> t
+val create : ?compile:bool -> Interp.config -> taint:Taint.summary -> t
 (** [create cfg ~taint] precomputes the candidate egress-port set and the
     output byte mask. The config's hash mode is forced to [Fixed 0] (the
     reference round); pass {!Taint.empty} to disable set-valued verdicts

@@ -1,16 +1,31 @@
 module Bitvec = Switchv_bitvec.Bitvec
+module Prefix = Switchv_bitvec.Prefix
+module Ternary = Switchv_bitvec.Ternary
+module Match = Switchv_match.Index
 module P4info = Switchv_p4ir.P4info
 
 (* Per-table association from match key to entry, plus a sequence number to
    preserve insertion order. *)
 type slot = { entry : Entry.t; seq : int }
 
+(* An evaluator (lib/bmv2/compile.ml) describes a table's keys with a
+   [key_spec] array; the first [index_lookup] against a table builds an
+   indexed view ({!Switchv_match.Index}) which every subsequent insert /
+   modify / delete maintains incrementally — including writes arriving
+   through fault-injected sync paths, which all funnel through these
+   functions. *)
+type key_spec = { ks_name : string; ks_width : int; ks_kind : Match.kind }
+
+type table_index = { ti_keys : key_spec array; ti_ix : slot Match.t }
+
 type t = {
   tables : (string, (string, slot) Hashtbl.t) Hashtbl.t;
   mutable next_seq : int;
+  indexes : (string, table_index) Hashtbl.t;
 }
 
-let create () = { tables = Hashtbl.create 16; next_seq = 0 }
+let create () =
+  { tables = Hashtbl.create 16; next_seq = 0; indexes = Hashtbl.create 8 }
 
 let table_tbl t name =
   match Hashtbl.find_opt t.tables name with
@@ -21,13 +36,65 @@ let table_tbl t name =
       tbl
 
 let copy t =
-  let fresh = { tables = Hashtbl.create 16; next_seq = t.next_seq } in
+  (* Indexes hold mutable structure; the copy rebuilds its own lazily. *)
+  let fresh =
+    { tables = Hashtbl.create 16; next_seq = t.next_seq; indexes = Hashtbl.create 8 }
+  in
   Hashtbl.iter (fun name tbl -> Hashtbl.add fresh.tables name (Hashtbl.copy tbl)) t.tables;
   fresh
 
 let clear t =
   Hashtbl.reset t.tables;
+  Hashtbl.reset t.indexes;
   t.next_seq <- 0
+
+(* --- index maintenance --------------------------------------------------- *)
+
+let mv_of_match = function
+  | Entry.M_exact v -> Match.Mexact v
+  | Entry.M_lpm p -> Match.Mlpm (Prefix.value p, Prefix.len p)
+  | Entry.M_ternary tn -> Match.Mternary (Ternary.value tn, Ternary.mask tn)
+  | Entry.M_optional o -> Match.Moptional o
+
+let mvs_of_entry keys (e : Entry.t) =
+  Array.map (fun ks -> Option.map mv_of_match (Entry.find_match e ks.ks_name)) keys
+
+let index_add t table slot =
+  match Hashtbl.find_opt t.indexes table with
+  | None -> ()
+  | Some ti ->
+      Match.insert ti.ti_ix
+        ~mvs:(mvs_of_entry ti.ti_keys slot.entry)
+        ~priority:slot.entry.Entry.e_priority ~seq:slot.seq slot
+
+let index_drop t table slot =
+  match Hashtbl.find_opt t.indexes table with
+  | None -> ()
+  | Some ti ->
+      Match.remove ti.ti_ix ~mvs:(mvs_of_entry ti.ti_keys slot.entry) ~seq:slot.seq
+
+(* Winner under the interpreter's precedence order, served from the
+   indexed view; built from the current entries on first use. A table's
+   index is keyed by the first schema it was queried with. *)
+let index_lookup t ~table ~keys values =
+  let ti =
+    match Hashtbl.find_opt t.indexes table with
+    | Some ti -> ti
+    | None ->
+        let ix =
+          Match.create
+            (Array.map
+               (fun ks -> { Match.key_width = ks.ks_width; key_kind = ks.ks_kind })
+               keys)
+        in
+        let ti = { ti_keys = keys; ti_ix = ix } in
+        Hashtbl.add t.indexes table ti;
+        (match Hashtbl.find_opt t.tables table with
+        | None -> ()
+        | Some tbl -> Hashtbl.iter (fun _ slot -> index_add t table slot) tbl);
+        ti
+  in
+  Match.lookup ti.ti_ix values |> Option.map (fun s -> s.entry)
 
 let insert t entry =
   let tbl = table_tbl t entry.Entry.e_table in
@@ -35,8 +102,10 @@ let insert t entry =
   if Hashtbl.mem tbl key then
     Error (Status.makef Status.Already_exists "entry already exists: %s" key)
   else begin
-    Hashtbl.add tbl key { entry; seq = t.next_seq };
+    let slot = { entry; seq = t.next_seq } in
+    Hashtbl.add tbl key slot;
     t.next_seq <- t.next_seq + 1;
+    index_add t entry.Entry.e_table slot;
     Ok ()
   end
 
@@ -46,17 +115,21 @@ let modify t entry =
   match Hashtbl.find_opt tbl key with
   | None -> Error (Status.makef Status.Not_found "no such entry: %s" key)
   | Some slot ->
-      Hashtbl.replace tbl key { slot with entry };
+      let slot' = { slot with entry } in
+      Hashtbl.replace tbl key slot';
+      index_drop t entry.Entry.e_table slot;
+      index_add t entry.Entry.e_table slot';
       Ok ()
 
 let delete t entry =
   let tbl = table_tbl t entry.Entry.e_table in
   let key = Entry.match_key entry in
-  if Hashtbl.mem tbl key then begin
-    Hashtbl.remove tbl key;
-    Ok ()
-  end
-  else Error (Status.makef Status.Not_found "no such entry: %s" key)
+  match Hashtbl.find_opt tbl key with
+  | Some slot ->
+      Hashtbl.remove tbl key;
+      index_drop t entry.Entry.e_table slot;
+      Ok ()
+  | None -> Error (Status.makef Status.Not_found "no such entry: %s" key)
 
 let find t entry =
   let tbl = table_tbl t entry.Entry.e_table in

@@ -4,6 +4,7 @@
     table, which downstream matching uses as a deterministic tie-breaker. *)
 
 module Bitvec = Switchv_bitvec.Bitvec
+module Match = Switchv_match.Index
 module P4info = Switchv_p4ir.P4info
 
 type t
@@ -50,6 +51,20 @@ val is_referenced_by :
   (table:string -> key:string -> Bitvec.t -> bool) -> Entry.t -> bool
 (** [is_referenced_by index entry]: does [entry] provide any value the
     index reports as referenced? *)
+
+type key_spec = { ks_name : string; ks_width : int; ks_kind : Match.kind }
+(** An evaluator's description of one table key: the field-match name
+    entries use, plus the width and match kind of the key. *)
+
+val index_lookup :
+  t -> table:string -> keys:key_spec array -> Bitvec.t array -> Entry.t option
+(** The winning entry of [table] for the given key values (in [keys]
+    order) under the interpreter's match-precedence order, served from an
+    indexed view ({!Switchv_match.Index}). The first call against a table
+    builds its index from the installed entries; every subsequent
+    {!insert} / {!modify} / {!delete} maintains it incrementally (a
+    table's index keeps the first schema it was queried with; {!copy}
+    rebuilds lazily on the copy). *)
 
 val equal : t -> t -> bool
 (** Same set of installed entries (order-insensitive), with equal

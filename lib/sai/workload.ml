@@ -374,3 +374,117 @@ let mirror_map entries =
         | _ -> None
       else None)
     entries
+
+(* --- scale workloads -------------------------------------------------------
+
+   Million-entry variants for the indexed-match / staged-evaluator bench:
+   a referencable nexthop chain of fixed (small) size, then [n] unique
+   routes or ACL entries. Kept separate from [generate] because the
+   point is to stress one table's entry count, not the object-graph mix. *)
+
+let scale_routes ?(seed = 7) ?(nexthops = 16) (program : Ast.program) n =
+  let info = P4info.of_program program in
+  let rng = Rng.create seed in
+  let has table = P4info.find_table info table <> None in
+  let out = ref [] in
+  let emit e = out := e :: !out in
+  let nh_ids = List.init (max 1 nexthops) (fun i -> i + 1) in
+  if has "vrf_table" then
+    emit
+      (Entry.make ~table:"vrf_table"
+         ~matches:[ fm "vrf_id" (exact16 1) ]
+         (single "no_action" []));
+  if has "router_interface_table" then
+    List.iter
+      (fun id ->
+        emit
+          (Entry.make ~table:"router_interface_table"
+             ~matches:[ fm "router_interface_id" (exact16 id) ]
+             (single "set_port_and_src_mac"
+                [ bv16 (1 + (id mod 32)); Rng.bitvec rng 48 ])))
+      nh_ids;
+  if has "neighbor_table" then
+    List.iter
+      (fun id ->
+        emit
+          (Entry.make ~table:"neighbor_table"
+             ~matches:
+               [ fm "router_interface_id" (exact16 id);
+                 fm "neighbor_id" (exact16 id) ]
+             (single "set_dst_mac" [ Rng.bitvec rng 48 ])))
+      nh_ids;
+  if has "nexthop_table" then
+    List.iter
+      (fun id ->
+        emit
+          (Entry.make ~table:"nexthop_table"
+             ~matches:[ fm "nexthop_id" (exact16 id) ]
+             (single "set_ip_nexthop" [ bv16 id; bv16 id ])))
+      nh_ids;
+  (* Make the routes reachable: classify IPv4 into VRF 1 and L3-admit the
+     bench's destination MAC, as [generate] does. *)
+  if has "acl_pre_ingress_table" then
+    emit
+      (Entry.make ~table:"acl_pre_ingress_table" ~priority:1
+         ~matches:
+           [ fm "is_ipv4"
+               (Entry.M_ternary (Ternary.exact (Bitvec.of_int ~width:1 1))) ]
+         (single "set_vrf" [ bv16 1 ]));
+  if has "l3_admit_table" then
+    emit
+      (Entry.make ~table:"l3_admit_table" ~priority:1
+         ~matches:
+           [ fm "dst_mac"
+               (Entry.M_ternary
+                  (Ternary.exact
+                     (Bitvec.of_int64 ~width:48 (Int64.of_int 0x020000000A01)))) ]
+         (single "l3_admit" []));
+  (* Unique /24s: first octet 10 + (i lsr 16) — sixteen /8s cover 2^20
+     routes — octets 2-3 carry the low 16 index bits. *)
+  if has "ipv4_table" then
+    for i = 0 to n - 1 do
+      let v =
+        Bitvec.logor
+          (Bitvec.shift_left (Bitvec.of_int ~width:32 (10 + (i lsr 16))) 24)
+          (Bitvec.shift_left (Bitvec.of_int ~width:32 (i land 0xFFFF)) 8)
+      in
+      emit
+        (Entry.make ~table:"ipv4_table"
+           ~matches:
+             [ fm "vrf_id" (exact16 1);
+               fm "ipv4_dst" (Entry.M_lpm (Prefix.make v 24)) ]
+           (single "set_nexthop_id"
+              [ bv16 (1 + (i mod List.length nh_ids)) ]))
+    done;
+  List.rev !out
+
+let scale_acls ?(seed = 7) (program : Ast.program) n =
+  let info = P4info.of_program program in
+  ignore (Rng.create seed);
+  let out = ref [] in
+  (match P4info.find_table info "acl_ingress_table" with
+  | None -> ()
+  | Some ti ->
+      let has_dst = P4info.find_match_field ti "dst_ip" <> None in
+      for i = 0 to n - 1 do
+        (* Unique fully-masked dst under 150.0.0.0/8; distinct priorities
+           keep every entry observable regardless of overlap. *)
+        let matches =
+          [ fm "is_ipv4"
+              (Entry.M_ternary (Ternary.exact (Bitvec.of_int ~width:1 1))) ]
+          @
+          if has_dst then
+            [ fm "dst_ip"
+                (Entry.M_ternary
+                   (Ternary.exact
+                      (Bitvec.logor
+                         (Bitvec.shift_left (Bitvec.of_int ~width:32 150) 24)
+                         (Bitvec.of_int ~width:32 (i land 0xFFFFFF))))) ]
+          else []
+        in
+        out :=
+          Entry.make ~table:"acl_ingress_table" ~priority:(i + 1) ~matches
+            (single (if i mod 2 = 0 then "no_action" else "drop") [])
+          :: !out
+      done);
+  List.rev !out

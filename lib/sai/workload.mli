@@ -50,3 +50,12 @@ val generate : ?seed:int -> Ast.program -> profile -> Entry.t list
 val mirror_map : Entry.t list -> (int * int) list
 (** Derive the interpreter's mirror-session → port map from the
     mirror_session_table entries. *)
+
+val scale_routes : ?seed:int -> ?nexthops:int -> Ast.program -> int -> Entry.t list
+(** A fixed small nexthop dependency chain followed by [n] unique-/24
+    IPv4 routes (up to 2^20 before prefixes repeat), in dependency order.
+    The scale workload for the indexed-match bench (`BENCH_scale.json`). *)
+
+val scale_acls : ?seed:int -> Ast.program -> int -> Entry.t list
+(** [n] ternary ACL ingress entries with unique fully-masked targets and
+    distinct priorities. *)

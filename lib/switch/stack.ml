@@ -7,6 +7,7 @@ module Status = Switchv_p4runtime.Status
 module State = Switchv_p4runtime.State
 module Validate = Switchv_p4runtime.Validate
 module Interp = Switchv_bmv2.Interp
+module Compile = Switchv_bmv2.Compile
 module Workload = Switchv_sai.Workload
 module Telemetry = Switchv_telemetry.Telemetry
 
@@ -18,6 +19,7 @@ type t = {
   server : State.t;
   asic : State.t;
   hash_seed : int;
+  compile : bool;                   (* staged evaluator for the ASIC data plane *)
   mutable p4info_ok : bool;
   mutable is_crashed : bool;
 }
@@ -72,7 +74,7 @@ let perturb_program faults program =
       | _ -> p)
     program faults
 
-let create ?(faults = []) ?(hash_seed = 0x5EED) program =
+let create ?(faults = []) ?(hash_seed = 0x5EED) ?(compile = true) program =
   { s_program = program;
     asic_program = perturb_program faults program;
     s_info = P4info.of_program program;
@@ -80,6 +82,7 @@ let create ?(faults = []) ?(hash_seed = 0x5EED) program =
     server = State.create ();
     asic = State.create ();
     hash_seed;
+    compile;
     p4info_ok = false;
     is_crashed = false }
 
@@ -535,7 +538,10 @@ let inject t ~ingress_port bytes =
      drop at the dead hop rather than as a live pipeline. *)
   if t.is_crashed then crashed_behavior bytes
   else
-    match Interp.run (interp_config t) ~ingress_port bytes with
+    match
+      (if t.compile then Compile.run else Interp.run)
+        (interp_config t) ~ingress_port bytes
+    with
     | b -> perturb_behavior t ~ingress_port bytes b
     | exception Interp.Parse_failure _ -> drop_behavior bytes
 
@@ -552,7 +558,10 @@ let packet_out t (po : Request.packet_out) =
   in
   match po.po_egress_port with
   | Some _ ->
-      let b = Interp.run_packet_out (interp_config t) ~egress_port:po.po_egress_port po.po_payload in
+      let b =
+        (if t.compile then Compile.run_packet_out else Interp.run_packet_out)
+          (interp_config t) ~egress_port:po.po_egress_port po.po_payload
+      in
       if punt_back then begin
         fire t (function Fault.Packet_out_punted_back -> true | _ -> false);
         { b with b_punted = true }
@@ -565,7 +574,8 @@ let packet_out t (po : Request.packet_out) =
       end
       else begin
         let b =
-          Interp.run_packet_out (interp_config t) ~egress_port:None po.po_payload
+          (if t.compile then Compile.run_packet_out else Interp.run_packet_out)
+            (interp_config t) ~egress_port:None po.po_payload
         in
         let bytes = Switchv_packet.Packet.to_bytes po.po_payload in
         perturb_behavior t ~ingress_port:0 bytes b

@@ -1,4 +1,5 @@
 module Interp = Switchv_bmv2.Interp
+module Compile = Switchv_bmv2.Compile
 module Stack = Switchv_switch.Stack
 module Telemetry = Switchv_telemetry.Telemetry
 
@@ -41,9 +42,10 @@ let stack_node ?(coverage = true) id stack =
   in
   { n_id = id; n_crashed = (fun () -> Stack.crashed stack); n_inject = inject }
 
-let model_node id cfg =
+let model_node ?(compile = true) id cfg =
+  let run = if compile then Compile.run else Interp.run in
   let inject ~ingress_port bytes =
-    try Interp.run cfg ~ingress_port bytes
+    try run cfg ~ingress_port bytes
     with Interp.Parse_failure _ -> drop_behavior bytes
   in
   { n_id = id; n_crashed = (fun () -> false); n_inject = inject }

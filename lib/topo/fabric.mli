@@ -29,8 +29,10 @@ val stack_node : ?coverage:bool -> int -> Stack.t -> node
     counter is re-emitted under [topo.sw.<id>.] — the per-switch coverage
     namespace folded into the obs report. *)
 
-val model_node : int -> Interp.config -> node
-(** Wraps [Interp.run]; never crashed; a parse failure becomes a drop. *)
+val model_node : ?compile:bool -> int -> Interp.config -> node
+(** Wraps the evaluator; never crashed; a parse failure becomes a drop.
+    [compile] (default [true]) serves the node from the staged evaluator;
+    [false] is the interpreted reference path ([--no-compile]). *)
 
 type hop = {
   h_switch : int;
